@@ -1,0 +1,206 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (one benchmark per experiment id) and additionally
+// report the headline *virtual* latencies as custom metrics: since the
+// substrate is a discrete-event simulator, wall-clock ns/op measures harness
+// cost, while "vlat-ms" metrics carry the simulated latencies the paper
+// reports.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/hw"
+	"repro/internal/lang"
+	"repro/internal/localos"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/xpu"
+)
+
+// benchExperiment runs one harness experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tables := e.Run(); len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkFig2aDensity(b *testing.B)       { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bMatrixFPGA(b *testing.B)    { benchExperiment(b, "fig2b") }
+func BenchmarkFig8NIPC(b *testing.B)           { benchExperiment(b, "fig8") }
+func BenchmarkFig9Commercial(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10StartupCPUDPU(b *testing.B) { benchExperiment(b, "fig10ab") }
+func BenchmarkFig10cFPGAStartup(b *testing.B)  { benchExperiment(b, "fig10c") }
+func BenchmarkTable4FPGAUtil(b *testing.B)     { benchExperiment(b, "tab4") }
+func BenchmarkFig11aCforkBreakdown(b *testing.B) {
+	benchExperiment(b, "fig11a")
+}
+func BenchmarkFig11bcMemory(b *testing.B)  { benchExperiment(b, "fig11bc") }
+func BenchmarkFig12DAGComm(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13FPGAChain(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14aColdCPU(b *testing.B)  { benchExperiment(b, "fig14a") }
+func BenchmarkFig14bWarm(b *testing.B)     { benchExperiment(b, "fig14b") }
+func BenchmarkFig14cColdBF1(b *testing.B)  { benchExperiment(b, "fig14c") }
+func BenchmarkFig14dColdBF2(b *testing.B)  { benchExperiment(b, "fig14d") }
+func BenchmarkFig14eChained(b *testing.B)  { benchExperiment(b, "fig14e") }
+func BenchmarkFig14fGzip(b *testing.B)     { benchExperiment(b, "fig14f") }
+func BenchmarkFig14gAML(b *testing.B)      { benchExperiment(b, "fig14g") }
+func BenchmarkFig14hMatrix(b *testing.B)   { benchExperiment(b, "fig14h") }
+func BenchmarkTable5Generality(b *testing.B) {
+	benchExperiment(b, "tab5")
+}
+
+// --- headline virtual-latency benchmarks -------------------------------------
+
+// vms converts a virtual duration to milliseconds for ReportMetric.
+func vms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// BenchmarkCforkColdStart reports Molecule's cfork cold-start latency
+// (Fig 11a "+Cpuset opt" and the <10ms headline claim).
+func BenchmarkCforkColdStart(b *testing.B) {
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		m := hw.Build(env, hw.Config{})
+		env.Spawn("driver", func(p *sim.Proc) {
+			os := localos.New(env, m.PU(0))
+			spec, _ := lang.SpecFor(lang.Python)
+			tmpl := lang.BootCold(p, os, spec, "tmpl", true)
+			start := p.Now()
+			if _, err := lang.Cfork(p, tmpl, "f", lang.CforkOptions{
+				PreparedContainer: true, CpusetMutexPatch: true,
+			}); err != nil {
+				b.Error(err)
+			}
+			lat = p.Now().Sub(start)
+		})
+		env.Run()
+	}
+	b.ReportMetric(vms(lat), "vlat-ms")
+}
+
+// BenchmarkWarmInvoke reports Molecule's warm-start dispatch+exec latency.
+func BenchmarkWarmInvoke(b *testing.B) {
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		m := hw.Build(env, hw.Config{})
+		env.Spawn("driver", func(p *sim.Proc) {
+			rt, err := molecule.New(p, m, workloads.NewRegistry(), molecule.DefaultOptions())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			rt.Deploy(p, "matmul")
+			rt.Invoke(p, "matmul", molecule.DefaultInvokeOptions())
+			res, err := rt.Invoke(p, "matmul", molecule.DefaultInvokeOptions())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			lat = res.Total
+		})
+		env.Run()
+	}
+	b.ReportMetric(vms(lat), "vlat-ms")
+}
+
+// BenchmarkNIPCWrite reports the nIPC-Poll xfifo_write latency from a DPU
+// (the Fig 8 ~25us headline).
+func BenchmarkNIPCWrite(b *testing.B) {
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		m := hw.Build(env, hw.Config{DPUs: 1})
+		shim := xpu.NewShim(env, m)
+		cpuOS := localos.New(env, m.PU(0))
+		dpuOS := localos.New(env, m.PU(1))
+		cn := shim.AddNode(m.PU(0), cpuOS)
+		dn := shim.AddNode(m.PU(1), dpuOS)
+		cpuX := cn.Register(cpuOS.NewDetachedProcess("r"))
+		dpuX := dn.Register(dpuOS.NewDetachedProcess("w"))
+		env.Spawn("reader", func(p *sim.Proc) {
+			fd, err := cn.FIFOInit(p, cpuX, "f", 4)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			cn.GrantCap(p, cpuX, dpuX, xpu.ObjID{Kind: "fifo", UUID: "f"}, xpu.PermWrite)
+			fd.Read(p)
+		})
+		env.SpawnAfter(time.Millisecond, "writer", func(p *sim.Proc) {
+			fd, err := dn.FIFOConnect(p, dpuX, "f")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			start := p.Now()
+			fd.Write(p, localos.Message{Payload: make([]byte, 64)})
+			lat = p.Now().Sub(start)
+		})
+		env.Run()
+	}
+	b.ReportMetric(float64(lat)/1e3, "vlat-us")
+}
+
+// BenchmarkAlexaChainWarm reports the warm Molecule Alexa chain end-to-end
+// latency (Fig 14e).
+func BenchmarkAlexaChainWarm(b *testing.B) {
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		m := hw.Build(env, hw.Config{})
+		env.Spawn("driver", func(p *sim.Proc) {
+			rt, err := molecule.New(p, m, workloads.NewRegistry(), molecule.DefaultOptions())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			chain := workloads.AlexaChain()
+			for _, fn := range chain {
+				rt.Deploy(p, fn)
+			}
+			rt.InvokeChain(p, chain, molecule.ChainOptions{})
+			res, err := rt.InvokeChain(p, chain, molecule.ChainOptions{})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			lat = res.Total
+		})
+		env.Run()
+	}
+	b.ReportMetric(vms(lat), "vlat-ms")
+}
+
+// BenchmarkSimKernelThroughput measures raw discrete-event kernel
+// throughput: events processed per wall second.
+func BenchmarkSimKernelThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		ch := sim.NewChan[int](env, 0)
+		const msgs = 1000
+		env.Spawn("recv", func(p *sim.Proc) {
+			for j := 0; j < msgs; j++ {
+				ch.Recv(p)
+			}
+		})
+		env.Spawn("send", func(p *sim.Proc) {
+			for j := 0; j < msgs; j++ {
+				ch.Send(p, j)
+			}
+		})
+		env.Run()
+	}
+}

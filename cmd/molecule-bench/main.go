@@ -1,0 +1,52 @@
+// Command molecule-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	molecule-bench                # run every experiment
+//	molecule-bench -exp fig10c    # run one experiment
+//	molecule-bench -list          # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id(s) to run, comma separated (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	md := flag.Bool("md", false, "emit the full report as markdown")
+	flag.Parse()
+
+	if *md {
+		bench.RunAllMarkdown(os.Stdout)
+		return
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		bench.RunAll(os.Stdout)
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows available ids\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s — %s\n    paper: %s\n\n", e.ID, e.Title, e.Paper)
+		for _, t := range e.Run() {
+			t.Fprint(os.Stdout)
+		}
+	}
+}

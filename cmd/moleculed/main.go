@@ -1,0 +1,49 @@
+// Command moleculed serves a simulated Molecule platform over HTTP.
+//
+//	moleculed -addr :8080 -dpus 2 -fpgas 1
+//
+//	curl -X POST 'localhost:8080/deploy?fn=helloworld'
+//	curl -X POST 'localhost:8080/invoke?fn=helloworld&body=1'
+//	curl -X POST 'localhost:8080/chain?fns=mr-splitter,mr-mapper,mr-reducer'
+//	curl 'localhost:8080/stats'
+//
+// Latencies in responses are virtual (simulated); outputs are real.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/httpd"
+	"repro/internal/hw"
+	"repro/internal/molecule"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dpus := flag.Int("dpus", 1, "Bluefield DPUs")
+	fpgas := flag.Int("fpgas", 1, "FPGAs")
+	gpus := flag.Int("gpus", 0, "GPUs")
+	fnFile := flag.String("functions", "", "JSON file with custom function specs")
+	flag.Parse()
+
+	s, err := httpd.NewServer(hw.Config{DPUs: *dpus, FPGAs: *fpgas, GPUs: *gpus},
+		molecule.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *fnFile != "" {
+		data, err := os.ReadFile(*fnFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.LoadFunctions(data); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded custom functions from %s", *fnFile)
+	}
+	log.Printf("moleculed listening on %s (DPUs=%d FPGAs=%d GPUs=%d)", *addr, *dpus, *fpgas, *gpus)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

@@ -1,0 +1,71 @@
+// Command vsandbox drives a vectorized sandbox runtime through the paper's
+// Table 3 command interface. Pass a script with -c (semicolon- or
+// newline-separated); without -c a demo script runs against the selected
+// runtime.
+//
+//	vsandbox -runtime fpga -c "create a:madd,b:mmult; start a,b; state a,b"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/ocicli"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+)
+
+const demo = `# vectorized sandbox demo
+create a:madd,b:mmult,c:mscale
+state a,b,c
+start a,b,c
+state a,b,c
+delete b
+state a,b,c`
+
+func main() {
+	kind := flag.String("runtime", "container", "sandbox runtime: container | fpga | gpu")
+	script := flag.String("c", "", "commands (';' or newline separated); default runs a demo")
+	flag.Parse()
+
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{FPGAs: 1, GPUs: 1})
+	var rt sandbox.Runtime
+	switch *kind {
+	case "container":
+		rt = sandbox.NewContainerRuntime(localos.New(env, m.PU(0)))
+	case "fpga":
+		rf, err := sandbox.NewRunF(m, m.PUsOfKind(hw.FPGA)[0], m.PU(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt = rf
+	case "gpu":
+		rg, err := sandbox.NewRunG(env, m, m.PUsOfKind(hw.GPU)[0], m.PU(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt = rg
+	default:
+		log.Fatalf("unknown runtime %q", *kind)
+	}
+
+	src := demo
+	if *script != "" {
+		src = strings.ReplaceAll(*script, ";", "\n")
+	}
+	sh := ocicli.New(rt)
+	env.Spawn("vsandbox", func(p *sim.Proc) {
+		out, err := sh.Script(p, src)
+		fmt.Print(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(virtual time elapsed: %v)\n", p.Now())
+	})
+	env.Run()
+}

@@ -1,0 +1,68 @@
+// Alexa chain: the ServerlessBench Alexa skill DAG (5 Node.js functions)
+// running on Molecule's direct-connect IPC/nIPC DAG engine, compared with
+// the Molecule-homo baseline's network path — including a cross-PU
+// placement where every inter-function call hops between the CPU and a DPU.
+//
+//	go run ./examples/alexachain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	env := sim.NewEnv()
+	machine := hw.Build(env, hw.Config{DPUs: 1})
+
+	env.Spawn("operator", func(p *sim.Proc) {
+		rt, err := molecule.New(p, machine, workloads.NewRegistry(), molecule.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		homo := baseline.NewHomo(env, machine, rt.Registry)
+		chain := workloads.AlexaChain()
+		for _, fn := range chain {
+			if err := rt.Deploy(p, fn,
+				molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		dpu := machine.PUsOfKind(hw.DPU)[0].ID
+
+		placements := map[string][]hw.PUID{
+			"all-CPU":  {0, 0, 0, 0, 0},
+			"all-DPU":  {dpu, dpu, dpu, dpu, dpu},
+			"cross-PU": {0, dpu, 0, dpu, 0},
+		}
+		for _, name := range []string{"all-CPU", "all-DPU", "cross-PU"} {
+			pl := placements[name]
+			// Warm both systems, then measure.
+			if _, err := rt.InvokeChain(p, chain, molecule.ChainOptions{Placement: pl}); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := homo.InvokeChain(p, chain, pl, workloads.Arg{}); err != nil {
+				log.Fatal(err)
+			}
+			mol, err := rt.InvokeChain(p, chain, molecule.ChainOptions{Placement: pl})
+			if err != nil {
+				log.Fatal(err)
+			}
+			base, err := homo.InvokeChain(p, chain, pl, workloads.Arg{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s baseline %-9v molecule %-9v (%.2fx better)\n",
+				name, base.Total, mol.Total, float64(base.Total)/float64(mol.Total))
+			fmt.Printf("         molecule edge latencies: %v\n", mol.EdgeLatency)
+		}
+	})
+
+	env.Run()
+}

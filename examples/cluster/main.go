@@ -1,0 +1,80 @@
+// Cluster: the platform view — an API Gateway (the paper's global manager,
+// Fig 6) scheduling functions across several worker machines with different
+// device mixes. FPGA work lands on FPGA-equipped workers; chains stay on one
+// computer for communication locality.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	env := sim.NewEnv()
+	gw := cluster.NewGateway(env, workloads.NewRegistry())
+
+	env.Spawn("platform", func(p *sim.Proc) {
+		// Three workers: CPU-only, CPU + 2 DPUs, CPU + FPGA.
+		configs := []hw.Config{{}, {DPUs: 2}, {FPGAs: 1}}
+		for i, cfg := range configs {
+			w, err := gw.AddWorker(p, cfg, molecule.DefaultOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("worker %d: %d PUs, capacity %d instances\n",
+				i, len(w.Machine.PUs()), w.RT.Capacity())
+		}
+
+		// Register functions with their profiles once, platform-wide.
+		must := func(err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		must(gw.Register("matmul", molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)))
+		must(gw.Register("gzip-compression", molecule.DefaultProfile(hw.FPGA)))
+		for _, fn := range workloads.MapReduceChain() {
+			must(gw.Register(fn, molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)))
+		}
+
+		// CPU/DPU work spreads by load; FPGA work must find worker 2.
+		for i := 0; i < 4; i++ {
+			res, err := gw.Invoke(p, "matmul", molecule.DefaultInvokeOptions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("matmul #%d -> worker %d (%v, cold=%v, total %v)\n",
+				i, res.Worker, res.Kind, res.Cold, res.Total)
+		}
+		res, err := gw.Invoke(p, "gzip-compression",
+			molecule.InvokeOptions{PU: -1, Arg: workloads.Arg{Bytes: 50 << 20}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gzip(50MB) -> worker %d on %v, total %v\n", res.Worker, res.Kind, res.Total)
+
+		// A chain is scheduled onto one worker and co-located there.
+		chainRes, worker, err := gw.InvokeChain(p, workloads.MapReduceChain(), molecule.PlaceChainAffinity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("MapReduce chain -> worker %d, e2e %v (%d cold starts)\n",
+			worker, chainRes.Total, chainRes.ColdStarts)
+		chainRes, worker, err = gw.InvokeChain(p, workloads.MapReduceChain(), molecule.PlaceChainAffinity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("MapReduce chain (warm) -> worker %d, e2e %v (%d cold starts)\n",
+			worker, chainRes.Total, chainRes.ColdStarts)
+	})
+
+	env.Run()
+}

@@ -1,0 +1,175 @@
+// New PU walkthrough: §6.8 says supporting a new device needs exactly three
+// components — (1) a vectorized sandbox runtime, (2) an XPU-Shim attachment,
+// and (3) a programming model. This example adds a computational-storage
+// device (smartSSD) from scratch using only the public abstractions:
+//
+//  1. runS below implements sandbox.Runtime for near-data scan kernels;
+//
+//  2. the device gets a virtual XPU-Shim node on the host;
+//
+//  3. the programming model is "scan programs": predicate kernels pushed to
+//     the drive, returning matching rows instead of raw blocks.
+//
+//     go run ./examples/newpu
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/ocicli"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+	"repro/internal/xpu"
+)
+
+// runS is the vectorized sandbox runtime for smartSSD scan kernels
+// (component 1). Loading a scan program is cheap; create is vectorized —
+// the whole vector installs in one firmware update, like runf's images.
+type runS struct {
+	pu        *hw.PU
+	machine   *hw.Machine
+	host      *hw.PU
+	sandboxes map[string]*scanSandbox
+}
+
+type scanSandbox struct {
+	spec  sandbox.Spec
+	state sandbox.State
+}
+
+const (
+	firmwareUpdateTime = 40 * time.Millisecond // install a scan-program vector
+	scanRate           = 8e9                   // bytes/sec: internal NAND bandwidth exceeds PCIe
+)
+
+func newRunS(m *hw.Machine, ssd, host *hw.PU) *runS {
+	return &runS{pu: ssd, machine: m, host: host, sandboxes: make(map[string]*scanSandbox)}
+}
+
+func (rs *runS) Create(p *sim.Proc, specs []sandbox.Spec) error {
+	for _, s := range specs {
+		if s.FuncID == "" {
+			return fmt.Errorf("runS: sandbox %q has no scan program", s.ID)
+		}
+		rs.sandboxes[s.ID] = &scanSandbox{spec: s, state: sandbox.StateCreated}
+	}
+	p.Sleep(firmwareUpdateTime) // one update for the whole vector
+	return nil
+}
+
+func (rs *runS) Start(p *sim.Proc, ids []string) error {
+	for _, id := range ids {
+		sb, ok := rs.sandboxes[id]
+		if !ok {
+			return fmt.Errorf("runS: no sandbox %q", id)
+		}
+		sb.state = sandbox.StateRunning
+	}
+	return nil
+}
+
+func (rs *runS) Kill(p *sim.Proc, ids []string, sig int) error {
+	for _, id := range ids {
+		if sb, ok := rs.sandboxes[id]; ok && sb.state == sandbox.StateRunning {
+			sb.state = sandbox.StateStopped
+		}
+	}
+	return nil
+}
+
+func (rs *runS) Delete(p *sim.Proc, ids []string) error {
+	for _, id := range ids {
+		if sb, ok := rs.sandboxes[id]; ok {
+			sb.state = sandbox.StateDeleted
+		}
+	}
+	return nil
+}
+
+func (rs *runS) State(ids []string) []sandbox.Status {
+	if ids == nil {
+		for id := range rs.sandboxes {
+			ids = append(ids, id)
+		}
+	}
+	out := make([]sandbox.Status, 0, len(ids))
+	for _, id := range ids {
+		st := sandbox.StateUnknown
+		if sb, ok := rs.sandboxes[id]; ok {
+			st = sb.state
+		}
+		out = append(out, sandbox.Status{ID: id, State: st})
+	}
+	return out
+}
+
+// Scan executes a running scan kernel over scanBytes of on-drive data,
+// returning only matchBytes across the interconnect — the near-data win.
+func (rs *runS) Scan(p *sim.Proc, id string, scanBytes, matchBytes int) error {
+	sb, ok := rs.sandboxes[id]
+	if !ok || sb.state != sandbox.StateRunning {
+		return fmt.Errorf("runS: sandbox %q not running", id)
+	}
+	p.Sleep(time.Duration(float64(scanBytes) / scanRate * float64(time.Second)))
+	_, err := rs.machine.Transfer(p, rs.pu.ID, rs.host.ID, matchBytes)
+	return err
+}
+
+var _ sandbox.Runtime = (*runS)(nil)
+
+func main() {
+	env := sim.NewEnv()
+
+	// Build the machine by hand: host CPU + one smartSSD over DMA.
+	machine := hw.NewMachine(env)
+	host := machine.AddPU(&hw.PU{Kind: hw.CPU, Name: "host", Cores: 8, Speed: 1, StartupFactor: 1})
+	ssd := machine.AddPU(&hw.PU{Kind: hw.SmartSSD, Name: "smartssd-0", Speed: 1, StartupFactor: 1})
+	machine.Connect(host.ID, ssd.ID, hw.Link{Kind: hw.LinkDMA, BaseLat: 12 * time.Microsecond, Bandwith: 3e9})
+
+	// Component 2: the device's XPU-Shim attachment is a virtual node on
+	// the host, exactly like the FPGA's.
+	hostOS := localos.New(env, host)
+	shim := xpu.NewShim(env, machine)
+	shim.AddNode(host, hostOS)
+	vnode := shim.AddVirtualNode(ssd, host, hostOS)
+
+	rs := newRunS(machine, ssd, host)
+	shell := ocicli.New(rs) // the same Table 3 verbs drive the new runtime
+
+	env.Spawn("operator", func(p *sim.Proc) {
+		fmt.Printf("machine: %v + %v (virtual shim node: %v)\n",
+			host.Kind, ssd.Kind, vnode.Virtual())
+
+		// Component 3 in action: install a vector of scan programs and run
+		// a near-data scan of 1GB that returns only 2MB of matches.
+		out, err := shell.Script(p, `
+create flt1:select-fraud,flt2:select-vip
+start flt1,flt2
+state flt1,flt2`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+
+		start := p.Now()
+		if err := rs.Scan(p, "flt1", 1<<30, 2<<20); err != nil {
+			log.Fatal(err)
+		}
+		nearData := p.Now().Sub(start)
+
+		// The conventional alternative: ship the whole 1GB to the host and
+		// scan there.
+		start = p.Now()
+		machine.Transfer(p, ssd.ID, host.ID, 1<<30)
+		p.Sleep(time.Duration(float64(1<<30) / 4e9 * float64(time.Second))) // host-side scan
+		shipAll := p.Now().Sub(start)
+
+		fmt.Printf("near-data scan: %v   ship-everything: %v   (%.1fx less)\n",
+			nearData, shipAll, float64(shipAll)/float64(nearData))
+	})
+	env.Run()
+}

@@ -1,0 +1,51 @@
+// Trace: watch one request flow through the system in virtual time — the
+// cold start's sandbox creation and cfork, the warm hit that follows, and
+// an executor crash healed by an automatic respawn.
+//
+//	go run ./examples/trace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	env := sim.NewEnv()
+	env.EnableTrace()
+	machine := hw.Build(env, hw.Config{DPUs: 1})
+
+	env.Spawn("operator", func(p *sim.Proc) {
+		rt, err := molecule.New(p, machine, workloads.NewRegistry(), molecule.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.Deploy(p, "image-processing",
+			molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
+			log.Fatal(err)
+		}
+		dpu := machine.PUsOfKind(hw.DPU)[0].ID
+
+		p.Tracef("--- cold start on the host ---")
+		rt.Invoke(p, "image-processing", molecule.InvokeOptions{PU: 0})
+		p.Tracef("--- warm hit ---")
+		rt.Invoke(p, "image-processing", molecule.InvokeOptions{PU: 0})
+		p.Tracef("--- remote cold start on the DPU ---")
+		rt.Invoke(p, "image-processing", molecule.InvokeOptions{PU: dpu})
+		p.Tracef("--- executor crash on the DPU, healed on next request ---")
+		if err := rt.KillExecutor(p, dpu); err != nil {
+			log.Fatal(err)
+		}
+		rt.Invoke(p, "image-processing", molecule.InvokeOptions{PU: dpu})
+	})
+
+	env.Run()
+	fmt.Println("virtual-time trace:")
+	env.DumpTrace(os.Stdout)
+}

@@ -1,0 +1,110 @@
+// Package bench is the benchmark harness: one experiment per table and
+// figure of the paper's evaluation section. Each experiment builds the
+// relevant simulated machine, runs the workload on Molecule and its
+// baselines, and reports the same rows/series the paper reports.
+//
+// The harness backs both the root-level testing.B benchmarks and the
+// cmd/molecule-bench CLI.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Experiment reproduces one table or figure.
+type Experiment struct {
+	ID    string // e.g. "fig10c", "tab4"
+	Title string
+	Paper string // the headline claim being reproduced
+	Run   func() []*metrics.Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in evaluation-section order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+func order(id string) int {
+	for i, k := range []string{
+		"fig2a", "fig2b", "fig8", "fig9", "fig10ab", "fig10c", "tab4",
+		"fig11a", "fig11bc", "fig12", "fig13", "fig14a", "fig14b", "fig14c",
+		"fig14d", "fig14e", "fig14f", "fig14g", "fig14h", "fig15", "tab1", "tab5",
+	} {
+		if k == id {
+			return i
+		}
+	}
+	return 1 << 20
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and prints its tables to w.
+func RunAll(w io.Writer) {
+	for _, e := range All() {
+		fmt.Fprintf(w, "### %s — %s\n    paper: %s\n\n", e.ID, e.Title, e.Paper)
+		for _, t := range e.Run() {
+			t.Fprint(w)
+		}
+	}
+}
+
+// RunAllMarkdown executes every experiment and writes a markdown report.
+func RunAllMarkdown(w io.Writer) {
+	fmt.Fprintln(w, "# Molecule reproduction — experiment report")
+	fmt.Fprintln(w)
+	for _, e := range All() {
+		fmt.Fprintf(w, "## %s — %s\n\n> paper: %s\n\n", e.ID, e.Title, e.Paper)
+		for _, t := range e.Run() {
+			t.Markdown(w)
+		}
+	}
+}
+
+// sandboxed runs body as the driver process of a fresh simulation and
+// returns after the simulation drains.
+func sandboxed(body func(p *sim.Proc)) {
+	env := sim.NewEnv()
+	env.Spawn("bench-driver", func(p *sim.Proc) { body(p) })
+	env.Run()
+}
+
+// newMolecule builds a Molecule runtime inside the driver process.
+func newMolecule(p *sim.Proc, cfg hw.Config, opts molecule.Options) *molecule.Runtime {
+	m := hw.Build(p.Env(), cfg)
+	rt, err := molecule.New(p, m, workloads.NewRegistry(), opts)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// fd formats a duration cell.
+func fd(d time.Duration) string { return metrics.FmtDur(d) }
+
+// fr formats a ratio cell.
+func fr(r float64) string { return metrics.FmtRatio(r) }

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/hw"
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "artifact",
+		Title: "Artifact-style FunctionBench report (appendix A.6)",
+		Paper: "fork-startup avg ~6ms-class vs baseline-startup ~180ms-class, percentile format",
+		Run:   runArtifact,
+	})
+}
+
+// titleCase upper-cases the first letter (strings.Title is deprecated).
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// runArtifact reproduces the artifact's func_bench.sh output: per test case,
+// the fork/baseline startup and end-to-end latency percentiles over repeated
+// trials (with deterministic scheduling jitter so percentiles spread).
+func runArtifact() []*metrics.Table {
+	var tables []*metrics.Table
+	const trials = 10
+	for _, fname := range []string{"linpack", "chameleon", "matmul", "pyaes"} {
+		var forkStart, forkE2E, baseStart, baseE2E metrics.Recorder
+		sandboxed(func(p *sim.Proc) {
+			opts := molecule.DefaultOptions()
+			opts.CpusetMutexPatch = true // the artifact's desktop setup
+			opts.JitterPct = 0.12
+			rt := newMolecule(p, hw.Config{}, opts)
+			h := baseline.NewHomo(p.Env(), rt.Machine, rt.Registry)
+			h.JitterPct = 0.12
+			if err := rt.Deploy(p, fname); err != nil {
+				panic(err)
+			}
+			rt.ContainerRuntimeOn(0).EnsureTemplate(p, lang.Python)
+			for i := 0; i < trials; i++ {
+				mres, err := rt.Invoke(p, fname, molecule.InvokeOptions{PU: -1, ForceCold: true})
+				if err != nil {
+					panic(err)
+				}
+				forkStart.Add(mres.Startup)
+				forkE2E.Add(mres.Total)
+				bres, err := h.Invoke(p, fname, 0, workloads.Arg{}, true)
+				if err != nil {
+					panic(err)
+				}
+				baseStart.Add(bres.Startup)
+				baseE2E.Add(bres.Total)
+			}
+		})
+		t := &metrics.Table{
+			Title:  fmt.Sprintf("Test-Case: %s (%d trials)", titleCase(fname), trials),
+			Header: []string{"series", "latency (ms)"},
+		}
+		t.AddRow("fork-startup", forkStart.Summary())
+		t.AddRow("fork-end2end", forkE2E.Summary())
+		t.AddRow("baseline-startup", baseStart.Summary())
+		t.AddRow("baseline-end2end", baseE2E.Summary())
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/lang"
+	"repro/internal/localos"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Serverless system design space",
+		Paper: "Molecule reaches the extreme startup class (≤10ms) and the fast IPC class on BOTH same-PU and cross-PU communication",
+		Run:   runFig15,
+	})
+}
+
+// startupClass buckets a cold-start latency into the paper's Fig 15a
+// classes.
+func startupClass(d time.Duration) string {
+	switch {
+	case d <= 10*time.Millisecond:
+		return "Extreme (<=10ms)"
+	case d <= 50*time.Millisecond:
+		return "Fast (~50ms)"
+	case d <= time.Second:
+		return "(>100ms)"
+	default:
+		return "Slow (>1s)"
+	}
+}
+
+// commClass buckets a DAG edge latency into the Fig 15b classes.
+func commClass(d time.Duration) string {
+	switch {
+	case d < 50*time.Microsecond:
+		return "Thread/Language (Extreme)"
+	case d < time.Millisecond:
+		return "IPC (Fast)"
+	default:
+		return "Network (Slow)"
+	}
+}
+
+// runFig15 reproduces the design-space positioning: the literature systems
+// are placed by their published latencies; Molecule's position is measured
+// live from this implementation.
+func runFig15() []*metrics.Table {
+	start := &metrics.Table{
+		Title:  "Fig 15a — Startup design space",
+		Note:   "literature systems by published numbers; Molecule measured live",
+		Header: []string{"system", "mechanism", "startup", "class"},
+	}
+	lit := []struct {
+		name, mech string
+		lat        time.Duration
+	}{
+		{"Kata Container", "VM sandbox cold boot", 2 * time.Second},
+		{"Docker", "container cold boot", 1200 * time.Millisecond},
+		{"gVisor", "user-kernel sandbox boot", 1500 * time.Millisecond},
+		{"FireCracker", "microVM snapshot restore", 400 * time.Millisecond},
+		{"SOCK", "Zygote + cache", 50 * time.Millisecond},
+		{"Replayable", "replayed execution", 45 * time.Millisecond},
+		{"Catalyzer", "sandbox fork (sfork)", 2 * time.Millisecond},
+	}
+	for _, s := range lit {
+		start.AddRow(s.name, s.mech, fd(s.lat), startupClass(s.lat))
+	}
+	var cfork time.Duration
+	sandboxed(func(p *sim.Proc) {
+		m := hw.Build(p.Env(), hw.Config{})
+		os := localos.New(p.Env(), m.PU(0))
+		spec, _ := lang.SpecFor(lang.Python)
+		tmpl := lang.BootCold(p, os, spec, "tmpl", true)
+		t0 := p.Now()
+		if _, err := lang.Cfork(p, tmpl, "f", lang.CforkOptions{
+			PreparedContainer: true, CpusetMutexPatch: true,
+		}); err != nil {
+			panic(err)
+		}
+		cfork = p.Now().Sub(t0)
+	})
+	start.AddRow("Molecule (measured)", "container fork (cfork)", fd(cfork), startupClass(cfork))
+
+	comm := &metrics.Table{
+		Title:  "Fig 15b — Communication design space",
+		Header: []string{"system", "scope", "mechanism", "edge latency", "class"},
+	}
+	litComm := []struct {
+		name, scope, mech string
+		lat               time.Duration
+	}{
+		{"OpenWhisk", "same-PU", "network via controller", 16 * time.Millisecond},
+		{"Nightcore", "same-PU", "engine + Linux FIFO", 300 * time.Microsecond},
+		{"Faastlane", "same-PU", "threads in one process", 10 * time.Microsecond},
+		{"Faasm", "same-PU", "shared memory + WASM", 20 * time.Microsecond},
+		{"Others", "cross-PU", "network", 5 * time.Millisecond},
+	}
+	for _, s := range litComm {
+		comm.AddRow(s.name, s.scope, s.mech, fd(s.lat), commClass(s.lat))
+	}
+	var local, cross time.Duration
+	sandboxed(func(p *sim.Proc) {
+		rt := newMolecule(p, hw.Config{DPUs: 1}, molecule.DefaultOptions())
+		pair := []string{"alexa-frontend", "alexa-interact"}
+		for _, fn := range pair {
+			if err := rt.Deploy(p, fn,
+				molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
+				panic(err)
+			}
+		}
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		measure := func(placement []hw.PUID) time.Duration {
+			rt.InvokeChain(p, pair, molecule.ChainOptions{Placement: placement})
+			res, err := rt.InvokeChain(p, pair, molecule.ChainOptions{Placement: placement})
+			if err != nil {
+				panic(err)
+			}
+			return res.EdgeLatency[0]
+		}
+		local = measure([]hw.PUID{0, 0})
+		cross = measure([]hw.PUID{0, dpu})
+	})
+	comm.AddRow("Molecule (measured)", "same-PU", "direct-connect FIFO", fd(local), commClass(local))
+	comm.AddRow("Molecule (measured)", "cross-PU", "nIPC over RDMA", fd(cross), commClass(cross))
+	return []*metrics.Table{start, comm}
+}

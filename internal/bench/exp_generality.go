@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab5",
+		Title: "Supporting different PUs (generality, §6.8)",
+		Paper: "vectorized sandbox + XPU-Shim + programming model are all a new PU needs",
+		Run:   runTab5,
+	})
+}
+
+// runTab5 prints the Table 1/5 support matrix and demonstrates it by
+// driving one function through every PU class of a fully heterogeneous
+// machine via the same Molecule runtime.
+func runTab5() []*metrics.Table {
+	matrix := &metrics.Table{
+		Title:  "Table 5 — Supporting different PUs",
+		Header: []string{"PU", "VSandbox runtime", "XPU-Shim attachment", "Programming model"},
+	}
+	matrix.AddRow("CPU", "modified runc (+cfork)", "native node", "Python / Node.js")
+	matrix.AddRow("DPU", "modified runc (+cfork)", "native node (RDMA)", "Python / Node.js")
+	matrix.AddRow("FPGA", "runF (OpenCL-style)", "virtual node on host (DMA)", "OpenCL kernels")
+	matrix.AddRow("GPU", "runG (CUDA-style)", "virtual node on host (DMA)", "CUDA C++ kernels")
+
+	demo := &metrics.Table{
+		Title:  "Generality demonstration — vmult on every PU class",
+		Note:   "one deployment, four execution targets, same runtime and abstractions",
+		Header: []string{"PU", "warm latency", "notes"},
+	}
+	sandboxed(func(p *sim.Proc) {
+		rt := newMolecule(p, hw.Config{DPUs: 1, FPGAs: 1, GPUs: 1}, molecule.DefaultOptions())
+		if err := rt.Deploy(p, "vmult",
+			molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU),
+			molecule.DefaultProfile(hw.FPGA), molecule.DefaultProfile(hw.GPU)); err != nil {
+			panic(err)
+		}
+		for _, pu := range rt.Machine.PUs() {
+			res, err := measureWarm(p, rt, "vmult", molecule.InvokeOptions{PU: pu.ID})
+			if err != nil {
+				panic(err)
+			}
+			note := ""
+			switch pu.Kind {
+			case hw.DPU:
+				note = "slow cores; cheapest profile"
+			case hw.FPGA:
+				note = "vectorized image, DMA in/out"
+			case hw.GPU:
+				note = "CUDA kernel via runG"
+			}
+			demo.AddRow(pu.Kind.String(), metrics.FmtDur(time.Duration(res.Handler)), note)
+		}
+	})
+	return []*metrics.Table{matrix, demo}
+}

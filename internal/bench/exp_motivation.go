@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2a",
+		Title: "DPU for higher function density",
+		Paper: "Concurrent instances: 1000 (CPU) -> 1256 (+1 DPU) -> 1512 (+2 DPU)",
+		Run:   runFig2a,
+	})
+	register(Experiment{
+		ID:    "fig2b",
+		Title: "FPGA for better performance (matrix functions)",
+		Paper: "FPGA functions are 2.15-2.82x faster (CPU: mscale 192us, madd 324us, vmult 3551us)",
+		Run:   runFig2b,
+	})
+}
+
+// runFig2a measures the maximum concurrent instances of the Python
+// image-processing function as DPUs are added, by actually placing held
+// instances until the machine is full.
+func runFig2a() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig 2a / §6.2 — Function density per machine",
+		Note:   "Python image-processing; instances placed until capacity is exhausted",
+		Header: []string{"machine", "max concurrent instances", "vs CPU-only"},
+	}
+	base := 0
+	for _, dpus := range []int{0, 1, 2} {
+		var placed int
+		sandboxed(func(p *sim.Proc) {
+			rt := newMolecule(p, hw.Config{DPUs: dpus}, molecule.DefaultOptions())
+			if err := rt.Deploy(p, "image-processing",
+				molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
+				panic(err)
+			}
+			for {
+				if _, err := rt.AcquireHeld(p, "image-processing", -1); err != nil {
+					break
+				}
+				placed++
+			}
+		})
+		label := "CPU"
+		if dpus > 0 {
+			label = fmt.Sprintf("CPU + %d DPU", dpus)
+		}
+		if dpus == 0 {
+			base = placed
+		}
+		t.AddRow(label, fmt.Sprintf("%d", placed), fr(float64(placed)/float64(base)))
+	}
+	return []*metrics.Table{t}
+}
+
+// runFig2b compares CPU and FPGA latencies for the three matrix functions.
+func runFig2b() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig 2b / §6.2 — Matrix functions: CPU vs FPGA",
+		Note:   "warm instances; FPGA latency includes DMA transfers and wrapper command",
+		Header: []string{"function", "CPU latency", "FPGA latency", "speedup"},
+	}
+	sandboxed(func(p *sim.Proc) {
+		rt := newMolecule(p, hw.Config{FPGAs: 1}, molecule.DefaultOptions())
+		fpga := rt.Machine.PUsOfKind(hw.FPGA)[0]
+		for _, fn := range []string{"mscale", "madd", "vmult"} {
+			if err := rt.Deploy(p, fn, molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.FPGA)); err != nil {
+				panic(err)
+			}
+		}
+		for _, fn := range []string{"mscale", "madd", "vmult"} {
+			rt.Invoke(p, fn, molecule.InvokeOptions{PU: 0}) // warm the CPU instance
+			cpu, err := rt.Invoke(p, fn, molecule.InvokeOptions{PU: 0})
+			if err != nil {
+				panic(err)
+			}
+			fp, err := rt.Invoke(p, fn, molecule.InvokeOptions{PU: fpga.ID})
+			if err != nil {
+				panic(err)
+			}
+			t.AddRow(fn, fd(cpu.Handler), fd(fp.Handler),
+				fr(float64(cpu.Handler)/float64(fp.Handler)))
+		}
+	})
+	return []*metrics.Table{t}
+}
+
+// measureWarm invokes twice and returns the second (warm) result.
+func measureWarm(p *sim.Proc, rt *molecule.Runtime, fn string, opts molecule.InvokeOptions) (molecule.Result, error) {
+	if _, err := rt.Invoke(p, fn, opts); err != nil {
+		return molecule.Result{}, err
+	}
+	return rt.Invoke(p, fn, opts)
+}
+
+var _ = measureWarm // used by sibling experiment files

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/hw"
+	"repro/internal/lang"
+	"repro/internal/localos"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/xpu"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Neighbor IPC latency vs XPUcall implementation",
+		Paper: "nIPC ranges 25-144us; nIPC-Poll (~25us) beats the DPU's Linux FIFO but not the CPU's",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Comparison with commercial serverless systems",
+		Paper: "Molecule: 37-46x better startup, 68-300x better communication; homo: 5-6x / 4-19x",
+		Run:   runFig9,
+	})
+}
+
+// nipcLatency measures one xfifo_write from a DPU caller to a CPU-homed
+// XPU-FIFO under the given transport mode.
+func nipcLatency(mode xpu.TransportMode, size int) time.Duration {
+	var lat time.Duration
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{DPUs: 1})
+	shim := xpu.NewShim(env, m)
+	cpuOS := localos.New(env, m.PU(0))
+	dpuOS := localos.New(env, m.PU(1))
+	cn := shim.AddNode(m.PU(0), cpuOS)
+	dn := shim.AddNode(m.PU(1), dpuOS)
+	dn.Mode = mode
+	cpuX := cn.Register(cpuOS.NewDetachedProcess("reader"))
+	dpuX := dn.Register(dpuOS.NewDetachedProcess("writer"))
+	env.Spawn("reader", func(p *sim.Proc) {
+		fd, err := cn.FIFOInit(p, cpuX, "bench", 8)
+		if err != nil {
+			panic(err)
+		}
+		obj := xpu.ObjID{Kind: "fifo", UUID: "bench"}
+		if err := cn.GrantCap(p, cpuX, dpuX, obj, xpu.PermWrite); err != nil {
+			panic(err)
+		}
+		fd.Read(p)
+	})
+	env.SpawnAfter(10*time.Millisecond, "writer", func(p *sim.Proc) {
+		fd, err := dn.FIFOConnect(p, dpuX, "bench")
+		if err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		if err := fd.Write(p, localos.Message{Payload: make([]byte, size)}); err != nil {
+			panic(err)
+		}
+		lat = p.Now().Sub(start)
+	})
+	env.Run()
+	return lat
+}
+
+func runFig8() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig 8 — nIPC latency (DPU caller, xfifo_write)",
+		Note:   "three XPUcall implementations vs local Linux FIFOs",
+		Header: []string{"msg size", "nIPC-Base", "nIPC-MPSC", "nIPC-Poll", "Linux (DPU)", "Linux (CPU)"},
+	}
+	linuxDPU := localos.CostsFor(&hw.PU{Kind: hw.DPU}).FIFOOp
+	linuxCPU := localos.CostsFor(&hw.PU{Kind: hw.CPU}).FIFOOp
+	for _, size := range []int{16, 32, 64, 128, 256, 512, 1024, 2048} {
+		t.AddRow(fmt.Sprintf("%dB", size),
+			fd(nipcLatency(xpu.TransportBase, size)),
+			fd(nipcLatency(xpu.TransportMPSC, size)),
+			fd(nipcLatency(xpu.TransportPoll, size)),
+			fd(linuxDPU),
+			fd(linuxCPU),
+		)
+	}
+	return []*metrics.Table{t}
+}
+
+func runFig9() []*metrics.Table {
+	start := &metrics.Table{
+		Title:  "Fig 9a — Startup latency vs commercial platforms",
+		Note:   "helloworld function, cold start",
+		Header: []string{"system", "startup", "vs Molecule"},
+	}
+	comm := &metrics.Table{
+		Title:  "Fig 9b — Communication latency vs commercial platforms",
+		Note:   "image-processing chain hop, <1KB payload",
+		Header: []string{"system", "comm latency", "vs Molecule"},
+	}
+	var molStart, molComm, homoStart, homoComm time.Duration
+	sandboxed(func(p *sim.Proc) {
+		rt := newMolecule(p, hw.Config{}, molecule.DefaultOptions())
+		if err := rt.Deploy(p, "helloworld"); err != nil {
+			panic(err)
+		}
+		if err := rt.Deploy(p, "image-processing"); err != nil {
+			panic(err)
+		}
+		rt.ContainerRuntimeOn(0).EnsureTemplate(p, lang.Python)
+		res, err := rt.Invoke(p, "helloworld", molecule.InvokeOptions{PU: -1, ForceCold: true})
+		if err != nil {
+			panic(err)
+		}
+		molStart = res.Startup
+
+		// Communication: a warm 2-function chain's edge latency.
+		chain := []string{"image-processing", "image-processing"}
+		rt.InvokeChain(p, chain, molecule.ChainOptions{})
+		cres, err := rt.InvokeChain(p, chain, molecule.ChainOptions{})
+		if err != nil {
+			panic(err)
+		}
+		molComm = cres.EdgeLatency[0]
+
+		h := baseline.NewHomo(p.Env(), rt.Machine, rt.Registry)
+		hres, err := h.Invoke(p, "helloworld", 0, workloads.Arg{}, true)
+		if err != nil {
+			panic(err)
+		}
+		homoStart = hres.Startup
+		homoComm = h.EdgeLatencyOneWay(0, 0, lang.Python, 1<<10)
+	})
+
+	l, w := baseline.AWSLambda(), baseline.OpenWhisk()
+	addStart := func(name string, d time.Duration) {
+		start.AddRow(name, fd(d), fr(float64(d)/float64(molStart)))
+	}
+	addComm := func(name string, d time.Duration) {
+		comm.AddRow(name, fd(d), fr(float64(d)/float64(molComm)))
+	}
+	addStart(l.Name, l.Startup)
+	addStart(w.Name, w.Startup)
+	addStart("Molecule-homo", homoStart)
+	addStart("Molecule", molStart)
+	addComm(l.Name, l.Comm)
+	addComm(w.Name, w.Comm)
+	addComm("Molecule-homo", homoComm)
+	addComm("Molecule", molComm)
+	return []*metrics.Table{start, comm}
+}

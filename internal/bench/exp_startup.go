@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/lang"
+	"repro/internal/localos"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/params"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10ab",
+		Title: "Function startup latency on CPU and DPU",
+		Paper: "cfork far below baseline cold boot; remote cfork (cfork-XPU) adds only ~1-3ms",
+		Run:   runFig10ab,
+	})
+	register(Experiment{
+		ID:    "fig10c",
+		Title: "Function startup latency on FPGA",
+		Paper: "baseline >20s; no-erase 3.8s; warm image 1.9s; warm sandbox 53ms",
+		Run:   runFig10c,
+	})
+	register(Experiment{
+		ID:    "tab4",
+		Title: "FPGA resource utilization",
+		Paper: "12-instance wrapper: 10.1% LUTs, 8.3% REGs, 22.5% BRAMs, 11.5% DSPs of an F1",
+		Run:   runTab4,
+	})
+	register(Experiment{
+		ID:    "fig11a",
+		Title: "cfork optimization breakdown",
+		Paper: "85.55 -> 47.25 -> 30.05 -> 8.40 ms",
+		Run:   runFig11a,
+	})
+	register(Experiment{
+		ID:    "fig11bc",
+		Title: "Memory usage (RSS / PSS) under concurrent instances",
+		Paper: "cfork yields ~34% lower PSS at 16 instances; slightly higher RSS (template)",
+		Run:   runFig11bc,
+	})
+}
+
+// runFig10ab measures baseline-local, cfork-local, and cfork-XPU startup
+// for Python and Node on the host CPU and a BF-1 DPU. Per the paper's
+// desktop methodology (Fig 10/11), cfork runs with the full optimization
+// stack (prepared containers + cpuset patch).
+func runFig10ab() []*metrics.Table {
+	var tables []*metrics.Table
+	for _, puKind := range []hw.PUKind{hw.CPU, hw.DPU} {
+		t := &metrics.Table{
+			Title:  fmt.Sprintf("Fig 10 — Startup at %v", puKind),
+			Header: []string{"runtime", "Baseline-local", "cfork-local", "cfork-XPU"},
+		}
+		for _, lk := range []lang.Kind{lang.Python, lang.Node} {
+			var base, local, remote time.Duration
+			sandboxed(func(p *sim.Proc) {
+				opts := molecule.DefaultOptions()
+				opts.CpusetMutexPatch = true
+				rt := newMolecule(p, hw.Config{DPUs: 1}, opts)
+				target := hw.PUID(0)
+				if puKind == hw.DPU {
+					target = rt.Machine.PUsOfKind(hw.DPU)[0].ID
+				}
+				targetOS := localos.New(p.Env(), rt.Machine.PU(target))
+				spec, err := lang.SpecFor(lk)
+				if err != nil {
+					panic(err)
+				}
+				// Baseline-local: conventional cold boot on the target PU.
+				start := p.Now()
+				lang.BaselineColdStart(p, targetOS, spec, "bench", "bench")
+				base = p.Now().Sub(start)
+
+				// cfork-local: fork on the target PU, commanded locally. Use
+				// the container runtime directly so no cross-PU command cost
+				// is charged.
+				cr := rt.ContainerRuntimeOn(target)
+				cr.CpusetMutexPatch = true
+				cr.EnsureTemplate(p, lk)
+				cr.Prewarm(p, 2)
+				fn := "image-processing"
+				if lk == lang.Node {
+					fn = "alexa-frontend"
+				}
+				start = p.Now()
+				if err := sandbox.CreateOne(p, cr, sandbox.Spec{ID: "l", FuncID: fn, Lang: lk}); err != nil {
+					panic(err)
+				}
+				if err := sandbox.StartOne(p, cr, "l"); err != nil {
+					panic(err)
+				}
+				local = p.Now().Sub(start)
+
+				// cfork-XPU: the same fork commanded from a neighbor PU over
+				// XPU-Shim (nIPC command + executor handling + response).
+				if err := rt.Deploy(p, fn,
+					molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
+					panic(err)
+				}
+				neighbor := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+				if puKind == hw.DPU {
+					neighbor = 0
+				}
+				start = p.Now()
+				rt.Machine.Transfer(p, neighbor, target, 256)
+				p.Sleep(params.ExecutorCommandOverhead)
+				res, err := rt.Invoke(p, fn, molecule.InvokeOptions{PU: target, ForceCold: true})
+				if err != nil {
+					panic(err)
+				}
+				rt.Machine.Transfer(p, target, neighbor, 128)
+				remote = p.Now().Sub(start) - res.Exec
+			})
+			t.AddRow(string(lk), fd(base), fd(local), fd(remote))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// runFig10c reproduces the FPGA startup staircase with its stage breakdown.
+func runFig10c() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig 10c — Startup at FPGA (vector multiplication)",
+		Note:   "stages: erase / load image / prepare sandbox; warm-sandbox is a single invoke",
+		Header: []string{"configuration", "latency", "erase", "load image", "prep sandbox"},
+	}
+	sandboxed(func(p *sim.Proc) {
+		env := p.Env()
+		m := hw.Build(env, hw.Config{FPGAs: 1})
+		fpga := m.PUsOfKind(hw.FPGA)[0]
+		rf, err := sandbox.NewRunF(m, fpga, m.PU(0))
+		if err != nil {
+			panic(err)
+		}
+
+		// Baseline: erase-always, cold everything (fabric pre-dirtied).
+		rf.Policy = sandbox.EraseAlways
+		rf.Create(p, []sandbox.Spec{{ID: "warmup", FuncID: "other"}})
+		start := p.Now()
+		rf.Create(p, []sandbox.Spec{{ID: "b", FuncID: "vmult"}})
+		rf.Start(p, []string{"b"})
+		baselineT := p.Now().Sub(start)
+		t.AddRow("Baseline", fd(baselineT), fd(params.FPGAEraseTime),
+			fd(params.FPGAImageLoadTime), fd(params.FPGASandboxPrep))
+
+		// No-Erase.
+		rf.Policy = sandbox.NoErase
+		start = p.Now()
+		rf.Create(p, []sandbox.Spec{{ID: "n", FuncID: "vmult"}})
+		rf.Start(p, []string{"n"})
+		noErase := p.Now().Sub(start)
+		t.AddRow("No-Erase", fd(noErase), "-", fd(params.FPGAImageLoadTime), fd(params.FPGASandboxPrep))
+
+		// Warm image: vectorized image already contains the function.
+		rf.Create(p, []sandbox.Spec{{ID: "w1", FuncID: "vmult"}, {ID: "w2", FuncID: "madd"}})
+		rf.Start(p, []string{"w1"})
+		start = p.Now()
+		rf.Start(p, []string{"w2"})
+		warmImage := p.Now().Sub(start)
+		t.AddRow("Warm-image", fd(warmImage), "-", "-", fd(params.FPGASandboxPrep))
+
+		// Warm sandbox: invoke only.
+		start = p.Now()
+		fabric := params.FPGAWarmSandboxInvoke - 2*params.DMABaseLatency -
+			params.FPGACommandLatency - 20*time.Microsecond
+		if err := rf.Invoke(p, "w2", 64<<10, 64<<10, fabric, sandbox.InvokeOptions{}); err != nil {
+			panic(err)
+		}
+		warmSandbox := p.Now().Sub(start)
+		t.AddRow("Warm-sandbox", fd(warmSandbox), "-", "-", "-")
+	})
+	return []*metrics.Table{t}
+}
+
+func runTab4() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Table 4 — FPGA resource utilization (AWS F1)",
+		Note:   "vectorized wrapper with 12 function instances (4x madd, mmult, mscale)",
+		Header: []string{"", "# LUTs", "# REGs", "# BRAMs", "# DSPs"},
+	}
+	total := hw.F1Resources()
+	t.AddRow("AWS F1 Total",
+		fmt.Sprintf("%d", total.LUTs), fmt.Sprintf("%d", total.REGs),
+		fmt.Sprintf("%d", total.BRAMs), fmt.Sprintf("%d", total.DSPs))
+	kernels := make([]string, 0, 12)
+	for i := 0; i < 4; i++ {
+		kernels = append(kernels, "madd", "mmult", "mscale")
+	}
+	img, err := hw.BuildImage("tab4", kernels)
+	if err != nil {
+		panic(err)
+	}
+	u := img.Resources.Utilization(total)
+	t.AddRow("Wrapper (12 func.)",
+		fmt.Sprintf("%d (%.1f%%)", img.Resources.LUTs, u[0]*100),
+		fmt.Sprintf("%d (%.1f%%)", img.Resources.REGs, u[1]*100),
+		fmt.Sprintf("%d (%.1f%%)", img.Resources.BRAMs, u[2]*100),
+		fmt.Sprintf("%d (%.1f%%)", img.Resources.DSPs, u[3]*100))
+	return []*metrics.Table{t}
+}
+
+func runFig11a() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig 11a — cfork breakdown (Python image-processing)",
+		Header: []string{"configuration", "startup latency"},
+	}
+	measure := func(f func(p *sim.Proc, os *localos.OS, tmpl *lang.Instance)) time.Duration {
+		var d time.Duration
+		sandboxed(func(p *sim.Proc) {
+			m := hw.Build(p.Env(), hw.Config{})
+			os := localos.New(p.Env(), m.PU(0))
+			spec, _ := lang.SpecFor(lang.Python)
+			tmpl := lang.BootCold(p, os, spec, "tmpl", true)
+			start := p.Now()
+			f(p, os, tmpl)
+			d = p.Now().Sub(start)
+		})
+		return d
+	}
+	spec, _ := lang.SpecFor(lang.Python)
+	t.AddRow("Baseline", fd(measure(func(p *sim.Proc, os *localos.OS, _ *lang.Instance) {
+		lang.BaselineColdStart(p, os, spec, "f", "fn")
+	})))
+	t.AddRow("+Naive cfork", fd(measure(func(p *sim.Proc, os *localos.OS, tmpl *lang.Instance) {
+		lang.Cfork(p, tmpl, "f", lang.CforkOptions{})
+	})))
+	t.AddRow("+FuncContainer", fd(measure(func(p *sim.Proc, os *localos.OS, tmpl *lang.Instance) {
+		lang.Cfork(p, tmpl, "f", lang.CforkOptions{PreparedContainer: true})
+	})))
+	t.AddRow("+Cpuset opt", fd(measure(func(p *sim.Proc, os *localos.OS, tmpl *lang.Instance) {
+		lang.Cfork(p, tmpl, "f", lang.CforkOptions{PreparedContainer: true, CpusetMutexPatch: true})
+	})))
+	return []*metrics.Table{t}
+}
+
+// runFig11bc reports average per-instance RSS and PSS (template amortized
+// for Molecule) for 1..16 concurrent image-resize instances.
+func runFig11bc() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Fig 11b/c — Memory usage of concurrent instances (image resize)",
+		Note:   "average per instance; Molecule's numbers include the template container's share",
+		Header: []string{"instances", "Baseline RSS", "Molecule RSS", "Baseline PSS", "Molecule PSS", "PSS saving"},
+	}
+	mb := func(b float64) string { return fmt.Sprintf("%.1fMB", b/(1<<20)) }
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		var baseRSS, basePSS, molRSS, molPSS float64
+		sandboxed(func(p *sim.Proc) {
+			m := hw.Build(p.Env(), hw.Config{})
+			os := localos.New(p.Env(), m.PU(0))
+			spec, _ := lang.SpecFor(lang.Python)
+			// Baseline: n plainly booted instances.
+			for i := 0; i < n; i++ {
+				inst := lang.BootCold(p, os, spec, "b", false)
+				inst.LoadFunction(p, "image-resize")
+				baseRSS += float64(inst.RSSBytes())
+				basePSSi := inst.PSSBytes()
+				basePSS += basePSSi
+			}
+			baseRSS /= float64(n)
+			basePSS /= float64(n)
+
+			// Molecule: template + n cfork'd instances; template resources
+			// amortized across instances (the paper's accounting).
+			tmpl := lang.BootCold(p, os, spec, "tmpl", true)
+			insts := make([]*lang.Instance, n)
+			for i := range insts {
+				c, err := lang.Cfork(p, tmpl, "image-resize",
+					lang.CforkOptions{PreparedContainer: true, CpusetMutexPatch: true})
+				if err != nil {
+					panic(err)
+				}
+				insts[i] = c
+			}
+			var rss, pss float64
+			for _, c := range insts {
+				rss += float64(c.RSSBytes())
+				pss += c.PSSBytes()
+			}
+			rss += float64(tmpl.RSSBytes())
+			pss += tmpl.PSSBytes()
+			molRSS = rss / float64(n)
+			molPSS = pss / float64(n)
+		})
+		saving := 1 - molPSS/basePSS
+		t.AddRow(fmt.Sprintf("%d", n), mb(baseRSS), mb(molRSS), mb(basePSS), mb(molPSS),
+			fmt.Sprintf("%.0f%%", saving*100))
+	}
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Contributions matrix conformance (Table 1)",
+		Paper: "every abstraction/optimization checkmark, exercised live",
+		Run:   runTab1,
+	})
+}
+
+// runTab1 exercises each ✓ of Table 1 on a full heterogeneous machine and
+// reports the measured evidence.
+func runTab1() []*metrics.Table {
+	t := &metrics.Table{
+		Title:  "Table 1 — abstractions and optimizations per PU (live checks)",
+		Header: []string{"claim", "PU(s)", "evidence", "status"},
+	}
+	pass := func(claim, pus, evidence string) { t.AddRow(claim, pus, evidence, "PASS") }
+	fail := func(claim, pus, evidence string) { t.AddRow(claim, pus, evidence, "FAIL") }
+
+	sandboxed(func(p *sim.Proc) {
+		rt := newMolecule(p, hw.Config{DPUs: 1, FPGAs: 1}, molecule.DefaultOptions())
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		fpga := rt.Machine.PUsOfKind(hw.FPGA)[0].ID
+
+		// Vectorized sandbox on every PU: deploy + invoke through the same
+		// runtime abstraction.
+		if err := rt.Deploy(p, "mscale",
+			molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU),
+			molecule.DefaultProfile(hw.FPGA)); err != nil {
+			fail("vectorized sandbox", "CPU/DPU/FPGA", err.Error())
+			return
+		}
+		kinds := ""
+		for _, pu := range []hw.PUID{0, dpu, fpga} {
+			res, err := rt.Invoke(p, "mscale", molecule.InvokeOptions{PU: pu})
+			if err != nil {
+				fail("vectorized sandbox", "CPU/DPU/FPGA", err.Error())
+				return
+			}
+			kinds += res.Kind.String() + " "
+		}
+		pass("vectorized sandbox", "CPU, DPU, FPGA", "one deployment served on "+kinds)
+
+		// XPU-Shim nodes: native on general PUs, virtual for the FPGA.
+		if rt.Shim.Node(0) != nil && rt.Shim.Node(dpu) != nil &&
+			rt.Shim.Node(fpga) != nil && rt.Shim.Node(fpga).Virtual() {
+			pass("XPU-Shim", "CPU, DPU, FPGA(virtual)", "shim nodes on all PUs")
+		} else {
+			fail("XPU-Shim", "CPU, DPU, FPGA", "missing shim node")
+		}
+
+		// cfork on CPU and DPU.
+		if err := rt.Deploy(p, "image-processing",
+			molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
+			fail("cfork", "CPU, DPU", err.Error())
+			return
+		}
+		rt.ContainerRuntimeOn(0).EnsureTemplate(p, "python")
+		rt.ContainerRuntimeOn(dpu).EnsureTemplate(p, "python")
+		cCPU, err1 := rt.Invoke(p, "image-processing", molecule.InvokeOptions{PU: 0, ForceCold: true})
+		cDPU, err2 := rt.Invoke(p, "image-processing", molecule.InvokeOptions{PU: dpu, ForceCold: true})
+		if err1 == nil && err2 == nil && cCPU.Startup < 50*time.Millisecond {
+			pass("cfork", "CPU, DPU", fmt.Sprintf("cold starts %v / %v", cCPU.Startup, cDPU.Startup))
+		} else {
+			fail("cfork", "CPU, DPU", "cold start too slow or failed")
+		}
+
+		// Vectorized-sandbox caching on FPGA: second mscale invoke hits the
+		// cached image.
+		warm, err := rt.Invoke(p, "mscale", molecule.InvokeOptions{PU: fpga})
+		if err == nil && !warm.Cold && rt.RunFOn(fpga).Cached("mscale") {
+			pass("V.S. caching", "FPGA", fmt.Sprintf("warm-image invoke %v", warm.Total))
+		} else {
+			fail("V.S. caching", "FPGA", "image cache miss")
+		}
+
+		// nIPC DAG across CPU and DPU.
+		pair := []string{"alexa-frontend", "alexa-interact"}
+		for _, fn := range pair {
+			if err := rt.Deploy(p, fn,
+				molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
+				fail("nIPC DAG", "CPU<->DPU", err.Error())
+				return
+			}
+		}
+		rt.InvokeChain(p, pair, molecule.ChainOptions{Placement: []hw.PUID{0, dpu}})
+		cres, err := rt.InvokeChain(p, pair, molecule.ChainOptions{Placement: []hw.PUID{0, dpu}})
+		if err == nil && cres.EdgeLatency[0] < time.Millisecond {
+			pass("nIPC DAG", "CPU, DPU, FPGA", fmt.Sprintf("cross-PU edge %v", cres.EdgeLatency[0]))
+		} else {
+			fail("nIPC DAG", "CPU<->DPU", "edge too slow")
+		}
+
+		// Communication methods.
+		lr, okR := rt.Machine.LinkBetween(0, dpu)
+		ld, okD := rt.Machine.LinkBetween(0, fpga)
+		if okR && lr.Kind == hw.LinkRDMA && okD && ld.Kind == hw.LinkDMA {
+			pass("comm: RDMA / DMA", "CPU<->DPU / CPU<->FPGA",
+				fmt.Sprintf("base latencies %v / %v", lr.BaseLat, ld.BaseLat))
+		} else {
+			fail("comm: RDMA / DMA", "-", "wrong link kinds")
+		}
+		li, okI := rt.Machine.LinkBetween(dpu, fpga)
+		if okI && li.BaseLat == params.RDMABaseLatency+params.DMABaseLatency {
+			pass("comm: CPU-intercepted", "DPU<->FPGA",
+				fmt.Sprintf("two-hop base latency %v", li.BaseLat))
+		} else {
+			fail("comm: CPU-intercepted", "DPU<->FPGA", "not routed through the host")
+		}
+		if rt.Machine.PU(fpga).Device.Retention() {
+			pass("comm: Shm (DRAM retention)", "FPGA<->FPGA", "retention enabled on device")
+		} else {
+			fail("comm: Shm (DRAM retention)", "FPGA<->FPGA", "retention disabled")
+		}
+	})
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,248 @@
+// Package cluster implements the platform layer above single machines: the
+// API Gateway (global manager) of the paper's Fig 6. Users register
+// functions with their profiles once; when requests arrive, the gateway
+// schedules them to a worker machine that has at least one of the required
+// PU kinds (§4.1), deploying the function there on first use. Function
+// chains are scheduled onto one computer whenever possible, for
+// communication locality (§4.1).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Worker is one heterogeneous computer managed by the gateway.
+type Worker struct {
+	ID      int
+	Machine *hw.Machine
+	RT      *molecule.Runtime
+
+	deployed map[string]bool
+	inflight int  // requests scheduled here but not yet completed
+	draining bool // excluded from scheduling (maintenance)
+}
+
+// kinds returns the PU kinds present on the worker.
+func (w *Worker) kinds() map[hw.PUKind]bool {
+	out := make(map[hw.PUKind]bool)
+	for _, pu := range w.Machine.PUs() {
+		out[pu.Kind] = true
+	}
+	return out
+}
+
+// load returns the worker's utilization in [0,1]: placed instances plus
+// requests already scheduled here but not yet served (so simultaneous
+// arrivals spread instead of piling onto one worker).
+func (w *Worker) load() float64 {
+	c := w.RT.Capacity()
+	if c == 0 {
+		return 1
+	}
+	return float64(w.RT.LiveInstances()+w.inflight) / float64(c)
+}
+
+// registration is a function registered with the gateway.
+type registration struct {
+	profiles []molecule.Profile
+}
+
+// Gateway is the global manager.
+type Gateway struct {
+	Env      *sim.Env
+	Registry *workloads.Registry
+
+	workers []*Worker
+	funcs   map[string]*registration
+}
+
+// NewGateway returns an empty gateway.
+func NewGateway(env *sim.Env, reg *workloads.Registry) *Gateway {
+	return &Gateway{Env: env, Registry: reg, funcs: make(map[string]*registration)}
+}
+
+// AddWorker builds a worker machine with its own Molecule runtime and
+// attaches it to the gateway.
+func (g *Gateway) AddWorker(p *sim.Proc, cfg hw.Config, opts molecule.Options) (*Worker, error) {
+	m := hw.Build(g.Env, cfg)
+	rt, err := molecule.New(p, m, g.Registry, opts)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{ID: len(g.workers), Machine: m, RT: rt, deployed: make(map[string]bool)}
+	g.workers = append(g.workers, w)
+	return w, nil
+}
+
+// Workers returns the attached workers.
+func (g *Gateway) Workers() []*Worker { return g.workers }
+
+// Drain excludes a worker from scheduling (existing warm state stays until
+// the operator retires the machine); Undrain re-admits it.
+func (g *Gateway) Drain(workerID int) error {
+	if workerID < 0 || workerID >= len(g.workers) {
+		return fmt.Errorf("cluster: no worker %d", workerID)
+	}
+	g.workers[workerID].draining = true
+	return nil
+}
+
+// Undrain re-admits a drained worker to scheduling.
+func (g *Gateway) Undrain(workerID int) error {
+	if workerID < 0 || workerID >= len(g.workers) {
+		return fmt.Errorf("cluster: no worker %d", workerID)
+	}
+	g.workers[workerID].draining = false
+	return nil
+}
+
+// Draining reports whether the worker is excluded from scheduling.
+func (w *Worker) Draining() bool { return w.draining }
+
+// Register records a function and its profiles with the platform. Nothing
+// is deployed yet; deployment happens on first scheduling to each worker.
+func (g *Gateway) Register(funcName string, profiles ...molecule.Profile) error {
+	if _, err := g.Registry.Get(funcName); err != nil {
+		return err
+	}
+	if len(profiles) == 0 {
+		profiles = []molecule.Profile{molecule.DefaultProfile(hw.CPU)}
+	}
+	g.funcs[funcName] = &registration{profiles: profiles}
+	return nil
+}
+
+// eligible reports whether the worker has at least one PU kind among the
+// function's profiles (§4.1: "machines with at least one of the required
+// kinds of PU where the function can execute").
+func (g *Gateway) eligible(w *Worker, reg *registration) bool {
+	kinds := w.kinds()
+	for _, pr := range reg.profiles {
+		if kinds[pr.Kind] {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule picks the least-loaded eligible worker for every function in
+// names (they must all fit one worker for chain locality); single functions
+// are the one-element case.
+func (g *Gateway) schedule(names []string) (*Worker, error) {
+	regs := make([]*registration, len(names))
+	for i, name := range names {
+		r, ok := g.funcs[name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: function %q not registered", name)
+		}
+		regs[i] = r
+	}
+	var best *Worker
+	for _, w := range g.workers {
+		ok := true
+		for _, r := range regs {
+			if !g.eligible(w, r) {
+				ok = false
+				break
+			}
+		}
+		if !ok || w.draining || w.load() >= 1 {
+			continue
+		}
+		if best == nil || w.load() < best.load() {
+			best = w
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("cluster: no eligible worker for %v", names)
+	}
+	return best, nil
+}
+
+// ensureDeployed deploys the function on the worker on first use.
+func (g *Gateway) ensureDeployed(p *sim.Proc, w *Worker, name string) error {
+	if w.deployed[name] {
+		return nil
+	}
+	reg := g.funcs[name]
+	// Only deploy the profiles the worker can satisfy.
+	kinds := w.kinds()
+	var profiles []molecule.Profile
+	for _, pr := range reg.profiles {
+		if kinds[pr.Kind] {
+			profiles = append(profiles, pr)
+		}
+	}
+	if err := w.RT.Deploy(p, name, profiles...); err != nil {
+		return err
+	}
+	w.deployed[name] = true
+	return nil
+}
+
+// ingress charges the client→gateway→worker network path one way.
+func ingress(p *sim.Proc) { p.Sleep(params.NetworkBaseLatency) }
+
+// InvokeResult pairs an invocation result with the worker that served it.
+type InvokeResult struct {
+	molecule.Result
+	Worker  int
+	Gateway time.Duration // time spent in gateway + network, not the worker
+}
+
+// Invoke schedules one request through the gateway.
+func (g *Gateway) Invoke(p *sim.Proc, funcName string, opts molecule.InvokeOptions) (InvokeResult, error) {
+	start := p.Now()
+	w, err := g.schedule([]string{funcName})
+	if err != nil {
+		return InvokeResult{}, err
+	}
+	w.inflight++
+	defer func() { w.inflight-- }()
+	ingress(p) // client → gateway → worker
+	if err := g.ensureDeployed(p, w, funcName); err != nil {
+		return InvokeResult{}, err
+	}
+	enter := p.Now()
+	res, err := w.RT.Invoke(p, funcName, opts)
+	if err != nil {
+		return InvokeResult{}, err
+	}
+	exit := p.Now()
+	ingress(p) // worker → gateway → client
+	return InvokeResult{
+		Result:  res,
+		Worker:  w.ID,
+		Gateway: p.Now().Sub(start) - exit.Sub(enter),
+	}, nil
+}
+
+// InvokeChain schedules a whole chain onto one worker (chain locality) and
+// runs it through the worker's direct-connect DAG engine.
+func (g *Gateway) InvokeChain(p *sim.Proc, names []string, policy molecule.PlacementPolicy) (molecule.ChainResult, int, error) {
+	w, err := g.schedule(names)
+	if err != nil {
+		return molecule.ChainResult{}, -1, err
+	}
+	w.inflight += len(names)
+	defer func() { w.inflight -= len(names) }()
+	ingress(p)
+	for _, name := range names {
+		if err := g.ensureDeployed(p, w, name); err != nil {
+			return molecule.ChainResult{}, -1, err
+		}
+	}
+	res, err := w.RT.InvokeChainWithPolicy(p, names, policy)
+	if err != nil {
+		return molecule.ChainResult{}, -1, err
+	}
+	ingress(p)
+	return res, w.ID, nil
+}

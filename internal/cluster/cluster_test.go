@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func withGateway(t *testing.T, body func(p *sim.Proc, g *Gateway)) {
+	t.Helper()
+	env := sim.NewEnv()
+	g := NewGateway(env, workloads.NewRegistry())
+	env.Spawn("driver", func(p *sim.Proc) { body(p, g) })
+	env.Run()
+	if env.LiveProcs() != 0 {
+		t.Fatalf("deadlock: %d procs blocked", env.LiveProcs())
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		if err := g.Register("nope"); err == nil {
+			t.Error("unknown function registered")
+		}
+		if err := g.Register("matmul"); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestScheduleByPUKind(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		// Worker 0: CPU-only. Worker 1: CPU + FPGA.
+		if _, err := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.AddWorker(p, hw.Config{FPGAs: 1}, molecule.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		// An FPGA-only registration must land on worker 1.
+		if err := g.Register("mscale", molecule.DefaultProfile(hw.FPGA)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.Invoke(p, "mscale", molecule.DefaultInvokeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Worker != 1 {
+			t.Errorf("FPGA function scheduled to worker %d, want 1", res.Worker)
+		}
+		if res.Kind != hw.FPGA {
+			t.Errorf("served by %v, want FPGA", res.Kind)
+		}
+		if res.Gateway <= 0 {
+			t.Error("no gateway/network time recorded")
+		}
+	})
+}
+
+func TestScheduleLeastLoaded(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		w0, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		g.Register("matmul")
+		// Pre-load worker 0.
+		g.ensureDeployed(p, w0, "matmul")
+		for i := 0; i < 5; i++ {
+			if _, err := w0.RT.AcquireHeld(p, "matmul", -1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := g.Invoke(p, "matmul", molecule.DefaultInvokeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Worker != 1 {
+			t.Errorf("request scheduled to loaded worker %d, want idle worker 1", res.Worker)
+		}
+	})
+}
+
+func TestNoEligibleWorker(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		g.AddWorker(p, hw.Config{}, molecule.DefaultOptions()) // CPU only
+		g.Register("mscale", molecule.DefaultProfile(hw.FPGA))
+		if _, err := g.Invoke(p, "mscale", molecule.DefaultInvokeOptions()); err == nil {
+			t.Error("FPGA request scheduled onto CPU-only cluster")
+		}
+		if _, err := g.Invoke(p, "unregistered", molecule.DefaultInvokeOptions()); err == nil {
+			t.Error("unregistered function scheduled")
+		}
+	})
+}
+
+func TestLazyDeploymentPerWorker(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		w, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		g.Register("matmul")
+		if w.deployed["matmul"] {
+			t.Error("deployed before first use")
+		}
+		if _, err := g.Invoke(p, "matmul", molecule.DefaultInvokeOptions()); err != nil {
+			t.Fatal(err)
+		}
+		if !w.deployed["matmul"] {
+			t.Error("not deployed after first use")
+		}
+		// Second invoke reuses the deployment (and the warm instance).
+		res, err := g.Invoke(p, "matmul", molecule.DefaultInvokeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cold {
+			t.Error("second invoke cold — warm pool not reused")
+		}
+	})
+}
+
+func TestChainSchedulesToOneWorker(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		g.AddWorker(p, hw.Config{DPUs: 1}, molecule.DefaultOptions())
+		g.AddWorker(p, hw.Config{DPUs: 1}, molecule.DefaultOptions())
+		chain := workloads.MapReduceChain()
+		for _, fn := range chain {
+			if err := g.Register(fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, worker, err := g.InvokeChain(p, chain, molecule.PlaceChainAffinity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worker < 0 {
+			t.Error("no worker reported")
+		}
+		if res.Total <= 0 || res.ColdStarts != len(chain) {
+			t.Errorf("first chain run: total=%v cold=%d", res.Total, res.ColdStarts)
+		}
+		// Chain profiles registered only for CPU: affinity keeps all on one
+		// PU of one worker, so a warm re-run has no cold starts.
+		res2, worker2, err := g.InvokeChain(p, chain, molecule.PlaceChainAffinity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worker2 != worker {
+			// Least-loaded may pick the other worker; both are valid, but
+			// then cold starts happen there.
+			if res2.ColdStarts == 0 {
+				t.Error("chain moved workers yet reported warm starts")
+			}
+		}
+	})
+}
+
+func TestMixedChainNeedsHeterogeneousWorker(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())         // CPU only
+		g.AddWorker(p, hw.Config{FPGAs: 1}, molecule.DefaultOptions()) // CPU+FPGA
+		g.Register("image-processing")
+		g.Register("mscale", molecule.DefaultProfile(hw.FPGA))
+		_, worker, err := g.InvokeChain(p, []string{"image-processing", "image-processing"}, molecule.PlaceChainAffinity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = worker
+		// A chain including the FPGA function must land on worker 1.
+		res, err := g.Invoke(p, "mscale", molecule.DefaultInvokeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Worker != 1 {
+			t.Errorf("FPGA member scheduled to worker %d, want 1", res.Worker)
+		}
+	})
+}
+
+// TestGatewayLoadBalancesConcurrentTraffic drives concurrent requests
+// through the gateway at two identical workers and checks both serve a
+// share.
+func TestGatewayLoadBalancesConcurrentTraffic(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		if err := g.Register("pyaes"); err != nil {
+			t.Fatal(err)
+		}
+		served := make(map[int]int)
+		wg := sim.NewWaitGroup(g.Env)
+		for i := 0; i < 12; i++ {
+			wg.Add(1)
+			g.Env.Spawn("req", func(cp *sim.Proc) {
+				defer wg.Done()
+				res, err := g.Invoke(cp, "pyaes", molecule.DefaultInvokeOptions())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				served[res.Worker]++
+			})
+		}
+		wg.Wait(p)
+		if served[0] == 0 || served[1] == 0 {
+			t.Errorf("load not balanced: %v", served)
+		}
+		if served[0]+served[1] != 12 {
+			t.Errorf("served %v, want 12 total", served)
+		}
+	})
+}
+
+func TestDrainExcludesWorker(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		g.Register("matmul")
+		if err := g.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			res, err := g.Invoke(p, "matmul", molecule.DefaultInvokeOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Worker != 1 {
+				t.Errorf("request landed on draining worker %d", res.Worker)
+			}
+		}
+		// Drain everything: scheduling fails.
+		g.Drain(1)
+		if _, err := g.Invoke(p, "matmul", molecule.DefaultInvokeOptions()); err == nil {
+			t.Error("request scheduled onto a fully drained cluster")
+		}
+		if err := g.Undrain(0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.Invoke(p, "matmul", molecule.DefaultInvokeOptions())
+		if err != nil || res.Worker != 0 {
+			t.Errorf("undrained worker not used: %v %v", res.Worker, err)
+		}
+		if err := g.Drain(9); err == nil {
+			t.Error("drain of unknown worker accepted")
+		}
+		if err := g.Undrain(-1); err == nil {
+			t.Error("undrain of unknown worker accepted")
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// The gateway schedules an FPGA-profiled function onto the worker that has
+// an FPGA, deploying it there on first use.
+func Example() {
+	env := sim.NewEnv()
+	gw := cluster.NewGateway(env, workloads.NewRegistry())
+
+	env.Spawn("platform", func(p *sim.Proc) {
+		gw.AddWorker(p, hw.Config{}, molecule.DefaultOptions())         // worker 0: CPU only
+		gw.AddWorker(p, hw.Config{FPGAs: 1}, molecule.DefaultOptions()) // worker 1: CPU+FPGA
+		gw.Register("mscale", molecule.DefaultProfile(hw.FPGA))
+		res, _ := gw.Invoke(p, "mscale", molecule.DefaultInvokeOptions())
+		fmt.Printf("mscale served by worker %d on %v\n", res.Worker, res.Kind)
+	})
+	env.Run()
+	// Output:
+	// mscale served by worker 1 on FPGA
+}

@@ -1,0 +1,206 @@
+package httpd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/molecule"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := NewServer(hw.Config{DPUs: 1, FPGAs: 1}, molecule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, form url.Values) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.PostForm(ts.URL+path, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestDeployInvokeRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := post(t, ts, "/deploy", url.Values{"fn": {"helloworld"}})
+	if code != http.StatusOK {
+		t.Fatalf("deploy: %d %v", code, body)
+	}
+	code, body = post(t, ts, "/invoke", url.Values{"fn": {"helloworld"}, "body": {"1"}})
+	if code != http.StatusOK {
+		t.Fatalf("invoke: %d %v", code, body)
+	}
+	if body["cold"] != true {
+		t.Error("first invoke not cold")
+	}
+	if body["output"] != "hello, heterogeneous world" {
+		t.Errorf("output = %v", body["output"])
+	}
+	if body["total_ms"].(float64) <= 0 {
+		t.Error("no virtual latency reported")
+	}
+	// Second invoke is warm.
+	_, body = post(t, ts, "/invoke", url.Values{"fn": {"helloworld"}})
+	if body["cold"] != false {
+		t.Error("second invoke not warm")
+	}
+}
+
+func TestInvokeOnFPGA(t *testing.T) {
+	ts := newTestServer(t)
+	if code, body := post(t, ts, "/deploy", url.Values{
+		"fn": {"gzip-compression"}, "profiles": {"cpu,fpga"},
+	}); code != http.StatusOK {
+		t.Fatalf("deploy: %d %v", code, body)
+	}
+	_, body := post(t, ts, "/invoke", url.Values{
+		"fn": {"gzip-compression"}, "bytes": {"52428800"},
+	})
+	if body["kind"] != "FPGA" {
+		t.Errorf("kind = %v, want FPGA", body["kind"])
+	}
+}
+
+func TestChainEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	for _, fn := range []string{"mr-splitter", "mr-mapper", "mr-reducer"} {
+		post(t, ts, "/deploy", url.Values{"fn": {fn}})
+	}
+	code, body := post(t, ts, "/chain", url.Values{"fns": {"mr-splitter,mr-mapper,mr-reducer"}})
+	if code != http.StatusOK {
+		t.Fatalf("chain: %d %v", code, body)
+	}
+	if int(body["cold_starts"].(float64)) != 3 {
+		t.Errorf("cold starts = %v", body["cold_starts"])
+	}
+	edges := body["edge_ms"].([]any)
+	if len(edges) != 2 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		path string
+		form url.Values
+	}{
+		{"/deploy", url.Values{}},
+		{"/deploy", url.Values{"fn": {"no-such"}}},
+		{"/deploy", url.Values{"fn": {"matmul"}, "profiles": {"quantum"}}},
+		{"/invoke", url.Values{}},
+		{"/invoke", url.Values{"fn": {"undeployed"}}},
+		{"/invoke", url.Values{"fn": {"matmul"}, "pu": {"abc"}}},
+		{"/chain", url.Values{}},
+	} {
+		if code, _ := post(t, ts, tc.path, tc.form); code != http.StatusBadRequest {
+			t.Errorf("%s %v returned %d, want 400", tc.path, tc.form, code)
+		}
+	}
+}
+
+func TestStatsAndFunctions(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts, "/deploy", url.Values{"fn": {"matmul"}})
+	post(t, ts, "/invoke", url.Values{"fn": {"matmul"}})
+	code, body := get(t, ts, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if int(body["invocations"].(float64)) != 1 {
+		t.Errorf("invocations = %v", body["invocations"])
+	}
+	if len(body["pus"].([]any)) != 3 {
+		t.Errorf("pus = %v", body["pus"])
+	}
+	if !strings.Contains(body["virtual_time"].(string), "s") {
+		t.Errorf("virtual_time = %v", body["virtual_time"])
+	}
+	_, fns := get(t, ts, "/functions")
+	if len(fns["functions"].([]any)) < 20 {
+		t.Error("registry listing too small")
+	}
+}
+
+func TestConcurrentHTTPRequestsSerialize(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts, "/deploy", url.Values{"fn": {"matmul"}})
+	done := make(chan bool, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			code, _ := post(t, ts, "/invoke", url.Values{"fn": {"matmul"}})
+			done <- code == http.StatusOK
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if !<-done {
+			t.Error("concurrent invoke failed")
+		}
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := get(t, ts, "/experiments")
+	if code != http.StatusOK {
+		t.Fatalf("experiments: %d", code)
+	}
+	if len(body["experiments"].([]any)) < 20 {
+		t.Error("experiment listing too small")
+	}
+	resp, err := http.Post(ts.URL+"/experiments/fig11a", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run experiment: %d %v", resp.StatusCode, out)
+	}
+	tables := out["tables"].([]any)
+	rows := tables[0].(map[string]any)["rows"].([]any)
+	if len(rows) != 4 {
+		t.Errorf("fig11a rows = %d, want 4", len(rows))
+	}
+	last := rows[3].([]any)
+	if last[1] != "8.40ms" {
+		t.Errorf("cpuset-opt cell = %v, want 8.40ms", last[1])
+	}
+	resp2, _ := http.Post(ts.URL+"/experiments/nope", "", nil)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment: %d, want 404", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,317 @@
+package lang
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+func newOS(kind hw.PUKind) (*sim.Env, *localos.OS) {
+	env := sim.NewEnv()
+	pu := &hw.PU{Kind: kind, Name: "t", Speed: 1}
+	if kind == hw.DPU {
+		pu.Speed = params.BF1SpeedFactor
+	}
+	return env, localos.New(env, pu)
+}
+
+func TestSpecFor(t *testing.T) {
+	py, err := SpecFor(Python)
+	if err != nil || py.InitCost != params.PythonInitTime {
+		t.Fatalf("python spec wrong: %+v, %v", py, err)
+	}
+	nd, err := SpecFor(Node)
+	if err != nil || nd.AuxThreads <= py.AuxThreads {
+		t.Fatalf("node spec wrong: %+v, %v", nd, err)
+	}
+	if _, err := SpecFor("ruby"); err == nil {
+		t.Error("unsupported runtime accepted")
+	}
+}
+
+func TestBootColdCostAndFootprint(t *testing.T) {
+	env, os := newOS(hw.CPU)
+	spec, _ := SpecFor(Python)
+	env.Spawn("x", func(p *sim.Proc) {
+		inst := BootCold(p, os, spec, "tmpl", true)
+		want := os.Costs.SpawnBase + spec.InitCost
+		if p.Now() != sim.Time(want) {
+			t.Errorf("cold boot took %v, want %v", p.Now(), want)
+		}
+		if inst.Proc.AS.RSSPages() != spec.BasePages {
+			t.Errorf("RSS pages = %d, want %d", inst.Proc.AS.RSSPages(), spec.BasePages)
+		}
+		if inst.Proc.Threads != 1+spec.AuxThreads {
+			t.Errorf("threads = %d, want %d", inst.Proc.Threads, 1+spec.AuxThreads)
+		}
+	})
+	env.Run()
+}
+
+func TestBootColdSlowerOnDPU(t *testing.T) {
+	spec, _ := SpecFor(Python)
+	boot := func(kind hw.PUKind) time.Duration {
+		env, os := newOS(kind)
+		var d time.Duration
+		env.Spawn("x", func(p *sim.Proc) {
+			BootCold(p, os, spec, "t", false)
+			d = time.Duration(p.Now())
+		})
+		env.Run()
+		return d
+	}
+	cpu, dpu := boot(hw.CPU), boot(hw.DPU)
+	ratio := float64(dpu) / float64(cpu)
+	if ratio < 5 || ratio > 8 {
+		t.Errorf("DPU cold boot %.1fx CPU, want ~%.1fx", ratio, params.DPUStartupPenalty)
+	}
+}
+
+func TestMergeExpandThreads(t *testing.T) {
+	env, os := newOS(hw.CPU)
+	spec, _ := SpecFor(Node)
+	env.Spawn("x", func(p *sim.Proc) {
+		inst := BootCold(p, os, spec, "t", true)
+		inst.MergeThreads(p)
+		if inst.Proc.Threads != 1 {
+			t.Errorf("threads after merge = %d, want 1", inst.Proc.Threads)
+		}
+		inst.MergeThreads(p) // idempotent
+		inst.ExpandThreads(p)
+		if inst.Proc.Threads != 1+spec.AuxThreads {
+			t.Errorf("threads after expand = %d, want %d", inst.Proc.Threads, 1+spec.AuxThreads)
+		}
+		inst.ExpandThreads(p) // idempotent, no cost
+	})
+	env.Run()
+}
+
+func TestCforkRequiresTemplate(t *testing.T) {
+	env, os := newOS(hw.CPU)
+	spec, _ := SpecFor(Python)
+	env.Spawn("x", func(p *sim.Proc) {
+		inst := BootCold(p, os, spec, "t", false) // not a template
+		if _, err := Cfork(p, inst, "f", CforkOptions{}); err == nil {
+			t.Error("cfork from non-template succeeded")
+		}
+	})
+	env.Run()
+}
+
+// TestFig11aBreakdown verifies the cfork optimization stack reproduces the
+// paper's latency staircase: baseline 85.55ms → naive cfork 47.25ms →
+// +FuncContainer 30.05ms → +Cpuset opt 8.40ms.
+func TestFig11aBreakdown(t *testing.T) {
+	spec, _ := SpecFor(Python)
+	measure := func(run func(p *sim.Proc, os *localos.OS, tmpl *Instance)) time.Duration {
+		env, os := newOS(hw.CPU)
+		var d time.Duration
+		env.Spawn("x", func(p *sim.Proc) {
+			tmpl := BootCold(p, os, spec, "tmpl", true)
+			start := p.Now()
+			run(p, os, tmpl)
+			d = p.Now().Sub(start)
+		})
+		env.Run()
+		return d
+	}
+
+	baseline := measure(func(p *sim.Proc, os *localos.OS, _ *Instance) {
+		BaselineColdStart(p, os, spec, "f", "fn")
+	})
+	naive := measure(func(p *sim.Proc, os *localos.OS, tmpl *Instance) {
+		if _, err := Cfork(p, tmpl, "f", CforkOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	funcContainer := measure(func(p *sim.Proc, os *localos.OS, tmpl *Instance) {
+		if _, err := Cfork(p, tmpl, "f", CforkOptions{PreparedContainer: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cpusetOpt := measure(func(p *sim.Proc, os *localos.OS, tmpl *Instance) {
+		if _, err := Cfork(p, tmpl, "f", CforkOptions{PreparedContainer: true, CpusetMutexPatch: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	check := func(name string, got time.Duration, wantMS float64) {
+		if math.Abs(got.Seconds()*1000-wantMS) > wantMS*0.12 {
+			t.Errorf("%s = %v, want ~%.2fms", name, got, wantMS)
+		}
+	}
+	check("baseline", baseline, 85.55)
+	check("naive cfork", naive, 47.25)
+	check("+FuncContainer", funcContainer, 30.05)
+	check("+Cpuset opt", cpusetOpt, 8.40)
+	if !(cpusetOpt < funcContainer && funcContainer < naive && naive < baseline) {
+		t.Error("optimization stack ordering violated")
+	}
+	if ratio := float64(baseline) / float64(cpusetOpt); ratio < 10 {
+		t.Errorf("full stack speedup %.1fx, paper reports >10x", ratio)
+	}
+}
+
+func TestCforkSharesTemplateMemory(t *testing.T) {
+	env, os := newOS(hw.CPU)
+	spec, _ := SpecFor(Python)
+	env.Spawn("x", func(p *sim.Proc) {
+		tmpl := BootCold(p, os, spec, "tmpl", true)
+		child, err := Cfork(p, tmpl, "f", CforkOptions{PreparedContainer: true, CpusetMutexPatch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if child.Proc.AS.SharedPages() == 0 {
+			t.Error("forked child shares no pages with template")
+		}
+		// PSS must be strictly below RSS thanks to sharing.
+		if child.PSSBytes() >= float64(child.RSSBytes()) {
+			t.Errorf("child PSS %.0f >= RSS %d — no sharing benefit", child.PSSBytes(), child.RSSBytes())
+		}
+	})
+	env.Run()
+}
+
+// TestFig11cPSSSaving checks that 16 cfork'd instances average ~34% lower
+// PSS than 16 cold-booted instances.
+func TestFig11cPSSSaving(t *testing.T) {
+	spec, _ := SpecFor(Python)
+	const n = 16
+
+	avgPSS := func(forked bool) float64 {
+		env, os := newOS(hw.CPU)
+		var total float64
+		env.Spawn("x", func(p *sim.Proc) {
+			var tmpl *Instance
+			if forked {
+				tmpl = BootCold(p, os, spec, "tmpl", true)
+			}
+			insts := make([]*Instance, n)
+			for i := range insts {
+				if forked {
+					c, err := Cfork(p, tmpl, "f", CforkOptions{PreparedContainer: true, CpusetMutexPatch: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					insts[i] = c
+				} else {
+					c := BootCold(p, os, spec, "fn", false)
+					c.LoadFunction(p, "f")
+					insts[i] = c
+				}
+			}
+			for _, c := range insts {
+				total += c.PSSBytes()
+			}
+		})
+		env.Run()
+		return total / n
+	}
+
+	base := avgPSS(false)
+	fork := avgPSS(true)
+	saving := 1 - fork/base
+	if saving < 0.25 || saving > 0.45 {
+		t.Errorf("PSS saving at 16 instances = %.0f%%, paper reports ~34%%", saving*100)
+	}
+}
+
+func TestInvokeForkPenaltyOnceAndSpeed(t *testing.T) {
+	env, os := newOS(hw.DPU)
+	spec, _ := SpecFor(Python)
+	env.Spawn("x", func(p *sim.Proc) {
+		tmpl := BootCold(p, os, spec, "tmpl", true)
+		child, err := Cfork(p, tmpl, "f", CforkOptions{PreparedContainer: true, CpusetMutexPatch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := 10 * time.Millisecond
+		start := p.Now()
+		child.Invoke(p, cost, true)
+		first := p.Now().Sub(start)
+		start = p.Now()
+		child.Invoke(p, cost, true)
+		later := p.Now().Sub(start)
+		if first-later != params.CforkCOWFaultPenalty {
+			t.Errorf("first-request COW penalty = %v, want %v", first-later, params.CforkCOWFaultPenalty)
+		}
+		wantPlain := time.Duration(float64(cost) * params.BF1SpeedFactor)
+		if later != wantPlain {
+			t.Errorf("DPU invoke = %v, want %v", later, wantPlain)
+		}
+		// Plainly-booted instances never pay the penalty.
+		plain := BootCold(p, os, spec, "fn", false)
+		start = p.Now()
+		plain.Invoke(p, cost, false)
+		if got := p.Now().Sub(start); got != wantPlain {
+			t.Errorf("plain boot invoke = %v, want %v", got, wantPlain)
+		}
+	})
+	env.Run()
+}
+
+func TestExitReleasesMemory(t *testing.T) {
+	env, os := newOS(hw.CPU)
+	spec, _ := SpecFor(Python)
+	env.Spawn("x", func(p *sim.Proc) {
+		inst := BootCold(p, os, spec, "fn", false)
+		inst.Exit()
+		if !inst.Proc.Exited() {
+			t.Error("process not exited")
+		}
+	})
+	env.Run()
+	if os.NumProcesses() != 0 {
+		t.Errorf("processes = %d, want 0", os.NumProcesses())
+	}
+}
+
+func TestSnapshotTakeRestore(t *testing.T) {
+	env, os := newOS(hw.CPU)
+	spec, _ := SpecFor(Python)
+	env.Spawn("x", func(p *sim.Proc) {
+		donor := BootCold(p, os, spec, "donor", false)
+		if _, err := TakeSnapshot(p, donor); err == nil {
+			t.Error("snapshot of unloaded instance accepted")
+		}
+		donor.LoadFunction(p, "f")
+		snap, err := TakeSnapshot(p, donor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := p.Now()
+		inst := snap.Restore(p, os)
+		restoreTime := p.Now().Sub(start)
+		// Restore ≈ SnapshotRestoreTime + spawn + connect; far below a boot.
+		if restoreTime > 60*time.Millisecond {
+			t.Errorf("restore took %v, want ~45ms", restoreTime)
+		}
+		if inst.FuncID != "f" {
+			t.Errorf("restored FuncID = %q", inst.FuncID)
+		}
+		if inst.Proc.AS.SharedPages() == 0 {
+			t.Error("restored instance shares no pages with the image")
+		}
+		if inst.Proc.Threads != 1+spec.AuxThreads {
+			t.Errorf("restored threads = %d", inst.Proc.Threads)
+		}
+		// Two restores share with each other through the image.
+		inst2 := snap.Restore(p, os)
+		if inst2.PSSBytes() >= float64(inst2.RSSBytes()) {
+			t.Error("second restore has no sharing benefit")
+		}
+		// Donor writes after the checkpoint do not leak into restores: the
+		// image was frozen copy-on-write.
+		before := inst.Proc.AS.SharedPages()
+		os.Touch(p, donor.Proc, 0, 64)
+		if got := inst.Proc.AS.SharedPages(); got != before {
+			t.Errorf("donor write changed restore sharing: %d -> %d", before, got)
+		}
+	})
+	env.Run()
+}

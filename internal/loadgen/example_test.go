@@ -1,0 +1,39 @@
+package loadgen_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/loadgen"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// A seeded Poisson/Zipf stream against a runtime is fully reproducible.
+func Example() {
+	env := sim.NewEnv()
+	machine := hw.Build(env, hw.Config{})
+
+	env.Spawn("driver", func(p *sim.Proc) {
+		rt, _ := molecule.New(p, machine, workloads.NewRegistry(), molecule.DefaultOptions())
+		fns := []string{"matmul", "pyaes"}
+		for _, fn := range fns {
+			rt.Deploy(p, fn)
+		}
+		stats, err := loadgen.Run(p, rt, loadgen.Config{
+			Seed: 7, Functions: fns, ZipfS: 1.2,
+			RatePerSec: 20, Duration: 5 * time.Second,
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("requests=%d errors=%d cold=%d\n",
+			stats.Requests, stats.Errors, stats.ColdStarts)
+	})
+	env.Run()
+	// Output:
+	// requests=92 errors=0 cold=5
+}

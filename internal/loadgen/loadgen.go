@@ -1,0 +1,154 @@
+// Package loadgen generates steady-state serverless request streams against
+// a Molecule runtime: Poisson arrivals with Zipf-distributed function
+// popularity, the standard model for production FaaS traces (Shahrad et al.,
+// which the paper cites for its keep-alive policies).
+//
+// The generator is deterministic for a given seed — arrivals are scheduled
+// in virtual time, so two runs with the same configuration produce identical
+// results.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Config describes one load-generation run.
+type Config struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Functions is the invocation population (all must be deployed).
+	Functions []string
+	// ZipfS is the popularity skew (>1; larger = more skewed). 0 selects a
+	// uniform popularity.
+	ZipfS float64
+	// RatePerSec is the mean Poisson arrival rate.
+	RatePerSec float64
+	// Duration is the virtual-time window during which requests arrive.
+	Duration time.Duration
+	// Arg parameterizes every invocation's cost model.
+	Arg workloads.Arg
+	// Chains, when non-empty, mixes chain invocations into the stream:
+	// with probability ChainFraction a request invokes a random chain
+	// instead of a single function.
+	Chains        [][]string
+	ChainFraction float64
+}
+
+// Stats aggregates one run's outcome.
+type Stats struct {
+	Requests   int
+	ColdStarts int
+	Errors     int
+	Latency    metrics.Recorder
+	PerFunc    map[string]int
+	// Chains counts chain-shaped requests and their latencies separately.
+	Chains       int
+	ChainLatency metrics.Recorder
+}
+
+// ColdRate returns the fraction of requests that cold-started.
+func (s *Stats) ColdRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.ColdStarts) / float64(s.Requests)
+}
+
+// Run drives the configured request stream against rt from process p,
+// returning once every request has completed. Requests execute concurrently
+// (each in its own simulation process), so warm-pool contention and
+// cold-start amplification behave as they would under real load.
+func Run(p *sim.Proc, rt *molecule.Runtime, cfg Config) (*Stats, error) {
+	if len(cfg.Functions) == 0 {
+		return nil, fmt.Errorf("loadgen: no functions")
+	}
+	if cfg.RatePerSec <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: rate and duration must be positive")
+	}
+	for _, fn := range cfg.Functions {
+		if _, err := rt.Deployment(fn); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Functions)-1))
+	}
+	pick := func() string {
+		if zipf != nil {
+			return cfg.Functions[zipf.Uint64()]
+		}
+		return cfg.Functions[rng.Intn(len(cfg.Functions))]
+	}
+
+	stats := &Stats{PerFunc: make(map[string]int)}
+	env := p.Env()
+	wg := sim.NewWaitGroup(env)
+
+	// Schedule arrivals up front (deterministic given the seed).
+	meanGap := float64(time.Second) / cfg.RatePerSec
+	for t := time.Duration(0); ; {
+		gap := time.Duration(rng.ExpFloat64() * meanGap)
+		t += gap
+		if t > cfg.Duration {
+			break
+		}
+		stats.Requests++
+		if len(cfg.Chains) > 0 && rng.Float64() < cfg.ChainFraction {
+			chain := cfg.Chains[rng.Intn(len(cfg.Chains))]
+			stats.Chains++
+			for _, fn := range chain {
+				stats.PerFunc[fn]++
+			}
+			wg.Add(1)
+			env.At(p.Now().After(t), func() {
+				env.Spawn("chain-req", func(rp *sim.Proc) {
+					defer wg.Done()
+					res, err := rt.InvokeChain(rp, chain, molecule.ChainOptions{Arg: cfg.Arg})
+					if err != nil {
+						stats.Errors++
+						return
+					}
+					stats.ColdStarts += res.ColdStarts
+					stats.ChainLatency.Add(res.Total)
+					stats.Latency.Add(res.Total)
+				})
+			})
+			continue
+		}
+		fn := pick()
+		stats.PerFunc[fn]++
+		wg.Add(1)
+		env.At(p.Now().After(t), func() {
+			env.Spawn("req-"+fn, func(rp *sim.Proc) {
+				defer wg.Done()
+				res, err := rt.Invoke(rp, fn, molecule.InvokeOptions{PU: -1, Arg: cfg.Arg})
+				if err != nil {
+					stats.Errors++
+					return
+				}
+				if res.Cold {
+					stats.ColdStarts++
+				}
+				stats.Latency.Add(res.Total)
+			})
+		})
+	}
+	wg.Wait(p)
+	return stats, nil
+}
+
+// PoissonGap is exposed for tests: the expected inter-arrival gap for a
+// rate.
+func PoissonGap(ratePerSec float64) time.Duration {
+	return time.Duration(math.Round(float64(time.Second) / ratePerSec))
+}

@@ -1,0 +1,122 @@
+// Package mem implements the page-granular memory model used by the
+// simulated operating systems.
+//
+// Address spaces map page numbers to physical pages. Fork shares every page
+// copy-on-write, exactly like Unix: the page's reference count rises, and the
+// first write by either side breaks the sharing by allocating a private copy.
+// The model exists to reproduce the paper's Fig 11b/c memory results: cfork'd
+// instances share template pages, so their PSS (proportional set size) is
+// lower than plainly-booted instances even though RSS (resident set size)
+// can be slightly higher due to the template's own footprint.
+package mem
+
+// Page is a physical page shared by one or more address spaces.
+type Page struct {
+	refs int
+}
+
+// AddressSpace is a process's page table: a map from virtual page number to
+// the physical page backing it.
+type AddressSpace struct {
+	pages map[int]*Page
+	next  int // next unused virtual page number for Map allocations
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[int]*Page)}
+}
+
+// Map allocates n fresh private pages and returns the first virtual page
+// number of the contiguous run.
+func (as *AddressSpace) Map(n int) int {
+	start := as.next
+	for i := 0; i < n; i++ {
+		as.pages[as.next] = &Page{refs: 1}
+		as.next++
+	}
+	return start
+}
+
+// Unmap releases n pages starting at virtual page vpn. Unmapping a hole is
+// a no-op for the missing pages.
+func (as *AddressSpace) Unmap(vpn, n int) {
+	for i := 0; i < n; i++ {
+		if pg, ok := as.pages[vpn+i]; ok {
+			pg.refs--
+			delete(as.pages, vpn+i)
+		}
+	}
+}
+
+// Fork returns a copy-on-write clone: every page is shared with the parent
+// and each side's first write will privatize its copy.
+func (as *AddressSpace) Fork() *AddressSpace {
+	child := &AddressSpace{pages: make(map[int]*Page, len(as.pages)), next: as.next}
+	for vpn, pg := range as.pages {
+		pg.refs++
+		child.pages[vpn] = pg
+	}
+	return child
+}
+
+// Write dirties n pages starting at vpn, breaking copy-on-write sharing.
+// It returns the number of pages that were actually copied (i.e. the number
+// of COW faults), which the OS model converts into fault latency.
+func (as *AddressSpace) Write(vpn, n int) int {
+	faults := 0
+	for i := 0; i < n; i++ {
+		pg, ok := as.pages[vpn+i]
+		if !ok {
+			// Write to an unmapped page allocates it (demand paging).
+			as.pages[vpn+i] = &Page{refs: 1}
+			if vpn+i >= as.next {
+				as.next = vpn + i + 1
+			}
+			faults++
+			continue
+		}
+		if pg.refs > 1 {
+			pg.refs--
+			as.pages[vpn+i] = &Page{refs: 1}
+			faults++
+		}
+	}
+	return faults
+}
+
+// Release drops every page mapping, decrementing shared reference counts.
+// The address space is empty (but reusable) afterwards.
+func (as *AddressSpace) Release() {
+	for vpn, pg := range as.pages {
+		pg.refs--
+		delete(as.pages, vpn)
+	}
+}
+
+// RSSPages returns the resident set size in pages: every page mapped into
+// this address space, shared or not.
+func (as *AddressSpace) RSSPages() int { return len(as.pages) }
+
+// PSSPages returns the proportional set size in pages: each page counts
+// 1/refs, so shared pages are split among their sharers — the metric the
+// paper uses to show cfork's memory savings (Fig 11c).
+func (as *AddressSpace) PSSPages() float64 {
+	var pss float64
+	for _, pg := range as.pages {
+		pss += 1.0 / float64(pg.refs)
+	}
+	return pss
+}
+
+// SharedPages returns the number of mapped pages with more than one
+// reference.
+func (as *AddressSpace) SharedPages() int {
+	n := 0
+	for _, pg := range as.pages {
+		if pg.refs > 1 {
+			n++
+		}
+	}
+	return n
+}

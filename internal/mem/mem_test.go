@@ -1,0 +1,156 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	start := as.Map(10)
+	if as.RSSPages() != 10 {
+		t.Fatalf("RSS = %d, want 10", as.RSSPages())
+	}
+	as.Unmap(start, 4)
+	if as.RSSPages() != 6 {
+		t.Fatalf("RSS after unmap = %d, want 6", as.RSSPages())
+	}
+	as.Unmap(start, 10) // partially already unmapped; must not panic
+	if as.RSSPages() != 0 {
+		t.Fatalf("RSS = %d, want 0", as.RSSPages())
+	}
+}
+
+func TestMapReturnsDisjointRuns(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Map(5)
+	b := as.Map(5)
+	if b < a+5 {
+		t.Fatalf("second run %d overlaps first [%d,%d)", b, a, a+5)
+	}
+}
+
+func TestForkSharesAllPages(t *testing.T) {
+	parent := NewAddressSpace()
+	parent.Map(100)
+	child := parent.Fork()
+	if child.RSSPages() != 100 {
+		t.Fatalf("child RSS = %d, want 100", child.RSSPages())
+	}
+	if got := child.PSSPages(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("child PSS = %v, want 50 (all pages shared by 2)", got)
+	}
+	if parent.SharedPages() != 100 || child.SharedPages() != 100 {
+		t.Fatal("fork did not share pages")
+	}
+}
+
+func TestWriteBreaksCOW(t *testing.T) {
+	parent := NewAddressSpace()
+	start := parent.Map(10)
+	child := parent.Fork()
+	faults := child.Write(start, 4)
+	if faults != 4 {
+		t.Fatalf("faults = %d, want 4", faults)
+	}
+	// Child now has 4 private + 6 shared; PSS = 4 + 6/2 = 7.
+	if got := child.PSSPages(); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("child PSS = %v, want 7", got)
+	}
+	if got := parent.PSSPages(); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("parent PSS = %v, want 7", got)
+	}
+	// Second write to the same pages: no further faults.
+	if faults := child.Write(start, 4); faults != 0 {
+		t.Fatalf("re-write faults = %d, want 0", faults)
+	}
+}
+
+func TestWriteUnmappedDemandPages(t *testing.T) {
+	as := NewAddressSpace()
+	faults := as.Write(1000, 3)
+	if faults != 3 {
+		t.Fatalf("demand faults = %d, want 3", faults)
+	}
+	if as.RSSPages() != 3 {
+		t.Fatalf("RSS = %d, want 3", as.RSSPages())
+	}
+	// Subsequent Map must not collide with demand-paged region.
+	v := as.Map(2)
+	if v < 1003 {
+		t.Fatalf("Map returned %d inside demand-paged region", v)
+	}
+}
+
+func TestReleaseDropsSharing(t *testing.T) {
+	parent := NewAddressSpace()
+	parent.Map(20)
+	child := parent.Fork()
+	child.Release()
+	if child.RSSPages() != 0 {
+		t.Fatal("release left pages mapped")
+	}
+	if got := parent.PSSPages(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("parent PSS after child release = %v, want 20", got)
+	}
+}
+
+func TestMultiForkPSS(t *testing.T) {
+	tmpl := NewAddressSpace()
+	tmpl.Map(100)
+	children := make([]*AddressSpace, 4)
+	for i := range children {
+		children[i] = tmpl.Fork()
+	}
+	// 5 sharers total: each PSS = 100/5 = 20.
+	for i, c := range children {
+		if got := c.PSSPages(); math.Abs(got-20) > 1e-9 {
+			t.Fatalf("child %d PSS = %v, want 20", i, got)
+		}
+	}
+}
+
+// Property: RSS(parent)+RSS(child) is invariant under writes, and the sum of
+// PSS over all address spaces sharing pages equals the number of distinct
+// physical pages.
+func TestPSSConservationProperty(t *testing.T) {
+	f := func(nPages uint8, writes []uint8) bool {
+		n := int(nPages%64) + 1
+		parent := NewAddressSpace()
+		start := parent.Map(n)
+		child := parent.Fork()
+		grandchild := child.Fork()
+		spaces := []*AddressSpace{parent, child, grandchild}
+		physical := float64(n) // distinct physical pages so far
+		for i, w := range writes {
+			target := spaces[i%3]
+			vpn := start + int(w)%n
+			physical += float64(target.Write(vpn, 1))
+		}
+		var pssSum float64
+		for _, s := range spaces {
+			pssSum += s.PSSPages()
+		}
+		return math.Abs(pssSum-physical) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: forking never changes the parent's RSS, and the child's RSS
+// always equals the parent's at fork time.
+func TestForkRSSProperty(t *testing.T) {
+	f := func(nPages uint8) bool {
+		n := int(nPages)%128 + 1
+		parent := NewAddressSpace()
+		parent.Map(n)
+		before := parent.RSSPages()
+		child := parent.Fork()
+		return parent.RSSPages() == before && child.RSSPages() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	if r.Avg() != 0 || r.Percentile(50) != 0 || r.Count() != 0 {
+		t.Error("empty recorder not zero-valued")
+	}
+	for _, d := range []time.Duration{30, 10, 20} {
+		r.Add(d * time.Millisecond)
+	}
+	if r.Count() != 3 {
+		t.Errorf("count = %d", r.Count())
+	}
+	if r.Avg() != 20*time.Millisecond {
+		t.Errorf("avg = %v", r.Avg())
+	}
+	if r.Min() != 10*time.Millisecond || r.Max() != 30*time.Millisecond {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Percentile(50) != 20*time.Millisecond {
+		t.Errorf("p50 = %v", r.Percentile(50))
+	}
+}
+
+func TestRecorderAddAfterPercentile(t *testing.T) {
+	var r Recorder
+	r.Add(10)
+	r.Percentile(50) // sorts
+	r.Add(5)         // must invalidate sort
+	if r.Min() != 5 {
+		t.Errorf("min after late add = %v", r.Min())
+	}
+}
+
+// TestPercentileNearestRankProperty: percentiles are monotone in p, bounded
+// by min and max, and p100 is the max.
+func TestPercentileProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var r Recorder
+		for _, s := range samples {
+			r.Add(time.Duration(s))
+		}
+		prev := time.Duration(-1)
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			v := r.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		sorted := append([]uint16(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return r.Percentile(100) == time.Duration(sorted[len(sorted)-1]) &&
+			r.Percentile(0) == time.Duration(sorted[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var r Recorder
+	r.Add(6400 * time.Microsecond)
+	s := r.Summary()
+	for _, want := range []string{"avg", "50%", "99%", "6.40ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "Demo",
+		Note:   "a note",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "2")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== Demo ==", "a note", "name", "a-much-longer-name"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and rows must align: the value column starts at the same
+	// offset everywhere.
+	hdr := -1
+	for _, l := range lines[2:] {
+		i := strings.Index(l, "1")
+		if i < 0 {
+			continue
+		}
+		if hdr == -1 {
+			hdr = i
+		}
+	}
+	if hdr == -1 {
+		t.Fatalf("row not found in output:\n%s", out)
+	}
+}
+
+func TestTableRowWiderThanHeader(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	tab.AddRow("x", "overflow-cell") // more cells than header
+	var buf bytes.Buffer
+	tab.Fprint(&buf) // must not panic
+	if !strings.Contains(buf.String(), "overflow-cell") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{1500 * time.Millisecond, "1.50s"},
+		{25 * time.Millisecond, "25.00ms"},
+		{42 * time.Microsecond, "42.0us"},
+	}
+	for _, c := range cases {
+		if got := FmtDur(c.d); got != c.want {
+			t.Errorf("FmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+	if FmtRatio(2.5) != "2.50x" {
+		t.Error("FmtRatio broken")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := &Table{Title: "MD", Note: "note", Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.Markdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### MD", "*note*", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package molecule
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// AutoScalerOptions tune a function's resident-pool autoscaler.
+type AutoScalerOptions struct {
+	// Min and Max bound the resident pool size.
+	Min, Max int
+	// TargetQueue is the queueing-delay threshold that triggers scale-out:
+	// when a request waits longer than this for a free resident, a new one
+	// is started (cold start off the request path).
+	TargetQueue time.Duration
+	// IdleTimeout retires residents that served nothing for this long.
+	IdleTimeout time.Duration
+}
+
+// DefaultAutoScalerOptions returns sane bounds.
+func DefaultAutoScalerOptions() AutoScalerOptions {
+	return AutoScalerOptions{Min: 1, Max: 32, TargetQueue: 5 * time.Millisecond, IdleTimeout: 30 * time.Second}
+}
+
+// AutoScaler maintains a pool of resident instances for one function,
+// growing it when requests queue and shrinking it when residents idle —
+// the auto-scaling loop a serverless platform runs per function.
+type AutoScaler struct {
+	rt   *Runtime
+	fn   string
+	pu   hw.PUID
+	opts AutoScalerOptions
+
+	idle     []*Resident
+	total    int
+	reserved int // scale-outs in flight, counted against Max
+	waiters  *sim.Chan[*Resident]
+	lastBusy sim.Time
+
+	scaleOuts, scaleIns int
+	maxObserved         int
+	closed              bool
+}
+
+// NewAutoScaler builds an autoscaler for fn on the given PU (use -1 for
+// placement policy), pre-starting Min residents.
+func (rt *Runtime) NewAutoScaler(p *sim.Proc, fn string, pu hw.PUID, opts AutoScalerOptions) (*AutoScaler, error) {
+	if _, err := rt.Deployment(fn); err != nil {
+		return nil, err
+	}
+	if opts.Min < 1 {
+		opts.Min = 1
+	}
+	if opts.Max < opts.Min {
+		opts.Max = opts.Min
+	}
+	a := &AutoScaler{
+		rt: rt, fn: fn, pu: pu, opts: opts,
+		waiters: sim.NewChan[*Resident](rt.Env, 0), // rendezvous: hand-off only to parked waiters
+	}
+	for i := 0; i < opts.Min; i++ {
+		r, err := rt.StartResident(p, fn, pu)
+		if err != nil {
+			return nil, err
+		}
+		a.idle = append(a.idle, r)
+		a.total++
+	}
+	a.maxObserved = a.total
+	return a, nil
+}
+
+// Stats reports (current residents, peak residents, scale-outs, scale-ins).
+func (a *AutoScaler) Stats() (current, peak, outs, ins int) {
+	return a.total, a.maxObserved, a.scaleOuts, a.scaleIns
+}
+
+// Serve handles one request: take an idle resident, or wait TargetQueue for
+// one and scale out if none frees up. Returns the end-to-end latency
+// including queueing.
+func (a *AutoScaler) Serve(p *sim.Proc, arg workloads.Arg) (time.Duration, error) {
+	start := p.Now()
+	r, err := a.obtain(p)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := r.Call(p, arg); err != nil {
+		return 0, err
+	}
+	a.replace(p, r)
+	a.lastBusy = p.Now()
+	return p.Now().Sub(start), nil
+}
+
+// obtain returns an idle resident, waiting up to TargetQueue before scaling
+// out (or indefinitely once at Max).
+func (a *AutoScaler) obtain(p *sim.Proc) (*Resident, error) {
+	if len(a.idle) > 0 {
+		r := a.idle[len(a.idle)-1]
+		a.idle = a.idle[:len(a.idle)-1]
+		return r, nil
+	}
+	if a.total+a.reserved < a.opts.Max {
+		a.reserved++ // hold a slot against concurrent scale-outs
+		// Wait briefly for a resident to free up; otherwise scale out.
+		deadline := sim.NewEvent(a.rt.Env)
+		a.rt.Env.AfterFunc(a.opts.TargetQueue, func() { deadline.Trigger(nil) })
+		got := sim.NewEvent(a.rt.Env)
+		abandoned := false
+		a.rt.Env.Spawn("as-wait", func(wp *sim.Proc) {
+			r, ok := a.waiters.Recv(wp)
+			if !ok {
+				return
+			}
+			if abandoned {
+				// The requester scaled out instead; return the resident to
+				// the pool rather than stranding it.
+				a.replace(wp, r)
+				return
+			}
+			got.Trigger(r)
+		})
+		idx, payload := sim.WaitAny(p, got, deadline)
+		if idx == 0 {
+			a.reserved--
+			return payload.(*Resident), nil
+		}
+		abandoned = true
+		got.Trigger(nil) // release WaitAny's relay on the losing event
+		// Timed out: scale out off the idle path.
+		r, err := a.rt.StartResident(p, a.fn, a.pu)
+		a.reserved--
+		if err != nil {
+			return nil, err
+		}
+		a.total++
+		a.scaleOuts++
+		if a.total > a.maxObserved {
+			a.maxObserved = a.total
+		}
+		return r, nil
+	}
+	// At Max: block until a resident frees.
+	r, ok := a.waiters.Recv(p)
+	if !ok {
+		return nil, fmt.Errorf("molecule: autoscaler for %s closed", a.fn)
+	}
+	return r, nil
+}
+
+// replace returns a resident to the pool, handing it directly to a waiter
+// when one is queued. After Close, late completions retire their resident
+// so no server process leaks.
+func (a *AutoScaler) replace(p *sim.Proc, r *Resident) {
+	if a.closed {
+		r.Stop(p)
+		a.total--
+		return
+	}
+	if a.waiters.TrySend(r) {
+		return
+	}
+	a.idle = append(a.idle, r)
+}
+
+// ShrinkIdle retires idle residents beyond Min if the pool has been idle
+// for IdleTimeout; called periodically by the platform (or tests).
+func (a *AutoScaler) ShrinkIdle(p *sim.Proc) int {
+	if p.Now().Sub(a.lastBusy) < a.opts.IdleTimeout {
+		return 0
+	}
+	retired := 0
+	for len(a.idle) > 0 && a.total > a.opts.Min {
+		r := a.idle[len(a.idle)-1]
+		a.idle = a.idle[:len(a.idle)-1]
+		r.Stop(p)
+		a.total--
+		a.scaleIns++
+		retired++
+	}
+	return retired
+}
+
+// Close stops every idle resident; in-flight residents retire as their
+// requests complete.
+func (a *AutoScaler) Close(p *sim.Proc) {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, r := range a.idle {
+		r.Stop(p)
+		a.total--
+	}
+	a.idle = nil
+	a.waiters.Close()
+}

@@ -1,0 +1,110 @@
+package molecule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+)
+
+// Billing is the pay-as-you-go ledger: invocations are charged per started
+// millisecond (the 1ms granularity the paper cites from AWS) at the
+// profile's PU-specific rate.
+type Billing struct {
+	entries []BillEntry
+}
+
+// BillEntry is one charged invocation.
+type BillEntry struct {
+	Fn       string
+	Kind     hw.PUKind
+	Duration time.Duration
+	BilledMs int64
+	Charge   float64
+}
+
+// NewBilling returns an empty ledger.
+func NewBilling() *Billing { return &Billing{} }
+
+// Record charges one invocation.
+func (b *Billing) Record(fn string, kind hw.PUKind, d time.Duration, pricePerMs float64) {
+	ms := int64(math.Ceil(float64(d) / float64(time.Millisecond)))
+	if ms < 1 {
+		ms = 1
+	}
+	b.entries = append(b.entries, BillEntry{
+		Fn: fn, Kind: kind, Duration: d, BilledMs: ms, Charge: float64(ms) * pricePerMs,
+	})
+}
+
+// Entries returns all charges.
+func (b *Billing) Entries() []BillEntry { return b.entries }
+
+// Total returns the summed charge.
+func (b *Billing) Total() float64 {
+	t := 0.0
+	for _, e := range b.entries {
+		t += e.Charge
+	}
+	return t
+}
+
+// TotalFor returns the summed charge for one function.
+func (b *Billing) TotalFor(fn string) float64 {
+	t := 0.0
+	for _, e := range b.entries {
+		if e.Fn == fn {
+			t += e.Charge
+		}
+	}
+	return t
+}
+
+// Report renders the ledger as a per-function, per-PU summary table.
+func (b *Billing) Report() *metrics.Table {
+	type key struct {
+		fn   string
+		kind hw.PUKind
+	}
+	type agg struct {
+		count    int
+		billedMs int64
+		charge   float64
+	}
+	sums := make(map[key]*agg)
+	for _, e := range b.entries {
+		k := key{e.Fn, e.Kind}
+		a := sums[k]
+		if a == nil {
+			a = &agg{}
+			sums[k] = a
+		}
+		a.count++
+		a.billedMs += e.BilledMs
+		a.charge += e.Charge
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].fn != keys[j].fn {
+			return keys[i].fn < keys[j].fn
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	t := &metrics.Table{
+		Title:  "Billing ledger (pay-as-you-go, 1ms granularity)",
+		Header: []string{"function", "PU", "invocations", "billed ms", "charge"},
+	}
+	for _, k := range keys {
+		a := sums[k]
+		t.AddRow(k.fn, k.kind.String(), fmt.Sprintf("%d", a.count),
+			fmt.Sprintf("%d", a.billedMs), fmt.Sprintf("%.2f", a.charge))
+	}
+	t.AddRow("TOTAL", "", fmt.Sprintf("%d", len(b.entries)), "", fmt.Sprintf("%.2f", b.Total()))
+	return t
+}

@@ -1,0 +1,166 @@
+package molecule
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestDAGValidate(t *testing.T) {
+	if _, err := (DAG{}).Validate(); err == nil {
+		t.Error("empty DAG accepted")
+	}
+	if _, err := (DAG{Nodes: []DAGNode{{Fn: "a", Deps: []int{0}}}}).Validate(); err == nil {
+		t.Error("self-dependency accepted")
+	}
+	if _, err := (DAG{Nodes: []DAGNode{{Fn: "a", Deps: []int{5}}}}).Validate(); err == nil {
+		t.Error("out-of-range dependency accepted")
+	}
+	// Cycle: 0 → 1 → 0.
+	cyc := DAG{Nodes: []DAGNode{{Fn: "a", Deps: []int{1}}, {Fn: "b", Deps: []int{0}}}}
+	if _, err := cyc.Validate(); err == nil {
+		t.Error("cycle accepted")
+	}
+	order, err := MapReduceDAG(2).Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos[0] < pos[1] && pos[0] < pos[2] && pos[1] < pos[3] && pos[2] < pos[3]) {
+		t.Errorf("topological order wrong: %v", order)
+	}
+}
+
+func TestChainBuilder(t *testing.T) {
+	c := Chain("a", "b", "c")
+	if len(c.Nodes) != 3 || len(c.Nodes[0].Deps) != 0 ||
+		c.Nodes[2].Deps[0] != 1 {
+		t.Errorf("chain structure wrong: %+v", c)
+	}
+}
+
+func deployMapReduce(t *testing.T, p *sim.Proc, rt *Runtime) {
+	t.Helper()
+	for _, fn := range workloads.MapReduceChain() {
+		if err := rt.Deploy(p, fn, DefaultProfile(hw.CPU), DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInvokeDAGLinearMatchesChainShape(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployMapReduce(t, p, rt)
+		dag := Chain(workloads.MapReduceChain()...)
+		warm, err := rt.InvokeDAG(p, dag, DAGOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.ColdStarts != 3 {
+			t.Errorf("first run cold starts = %d, want 3", warm.ColdStarts)
+		}
+		res, err := rt.InvokeDAG(p, dag, DAGOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ColdStarts != 0 {
+			t.Errorf("second run cold starts = %d", res.ColdStarts)
+		}
+		// Linear DAG: finish times strictly increase along the chain.
+		for i := 1; i < len(res.NodeFinish); i++ {
+			if res.NodeFinish[i] <= res.NodeFinish[i-1] {
+				t.Errorf("node %d finished at %v, not after node %d (%v)",
+					i, res.NodeFinish[i], i-1, res.NodeFinish[i-1])
+			}
+		}
+		if res.Total != res.NodeFinish[len(res.NodeFinish)-1] {
+			t.Error("total != sink finish time")
+		}
+	})
+}
+
+// TestInvokeDAGFanOutParallelizes: two mappers that each take T must
+// overlap, so the fan-out DAG's makespan is far below the serialized sum.
+func TestInvokeDAGFanOutParallelizes(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployMapReduce(t, p, rt)
+		fan := MapReduceDAG(2)
+		serial := Chain("mr-splitter", "mr-mapper", "mr-mapper", "mr-reducer")
+		// Warm both.
+		if _, err := rt.InvokeDAG(p, fan, DAGOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.InvokeDAG(p, serial, DAGOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		fres, err := rt.InvokeDAG(p, fan, DAGOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := rt.InvokeDAG(p, serial, DAGOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fres.Total >= sres.Total {
+			t.Errorf("fan-out makespan %v not below serialized %v", fres.Total, sres.Total)
+		}
+		// Both mappers finish at (nearly) the same time.
+		m1, m2 := fres.NodeFinish[1], fres.NodeFinish[2]
+		diff := m1 - m2
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Millisecond {
+			t.Errorf("mappers finished %v apart — not parallel", diff)
+		}
+		// Exec totals match (same work, different schedule).
+		if fres.ExecTotal != sres.ExecTotal {
+			t.Errorf("exec totals differ: %v vs %v", fres.ExecTotal, sres.ExecTotal)
+		}
+	})
+}
+
+func TestInvokeDAGCrossPUEdges(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployMapReduce(t, p, rt)
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		dag := MapReduceDAG(2)
+		local := DAGOptions{}
+		cross := DAGOptions{Placement: []hw.PUID{0, dpu, 0, dpu}}
+		if _, err := rt.InvokeDAG(p, dag, local); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.InvokeDAG(p, dag, cross); err != nil {
+			t.Fatal(err)
+		}
+		lres, _ := rt.InvokeDAG(p, dag, local)
+		cres, err := rt.InvokeDAG(p, dag, cross)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cres.Total <= lres.Total {
+			t.Errorf("cross-PU DAG (%v) not slower than co-located (%v)", cres.Total, lres.Total)
+		}
+	})
+}
+
+func TestInvokeDAGErrors(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if _, err := rt.InvokeDAG(p, DAG{}, DAGOptions{}); err == nil {
+			t.Error("empty DAG invoked")
+		}
+		if _, err := rt.InvokeDAG(p, Chain("nope"), DAGOptions{}); err == nil {
+			t.Error("undeployed DAG invoked")
+		}
+		rt.Deploy(p, "matmul")
+		if _, err := rt.InvokeDAG(p, Chain("matmul"), DAGOptions{Placement: []hw.PUID{0, 0}}); err == nil {
+			t.Error("bad placement length accepted")
+		}
+	})
+}

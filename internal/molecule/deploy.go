@@ -1,0 +1,296 @@
+package molecule
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Profile is one execution setting a user selects for a function: a PU kind
+// plus its resource/price point (§4.1: Molecule requires end-users to
+// explicitly assign resources and select PU types by price and ability).
+type Profile struct {
+	Kind hw.PUKind
+	// MemoryMB is the per-instance memory reservation.
+	MemoryMB int
+	// PricePerMs is the billing rate; DPUs are cheapest, FPGAs most
+	// expensive (§4.1).
+	PricePerMs float64
+}
+
+// DefaultProfile returns the standard price point for a PU kind.
+func DefaultProfile(kind hw.PUKind) Profile {
+	switch kind {
+	case hw.DPU:
+		return Profile{Kind: hw.DPU, MemoryMB: 128, PricePerMs: 0.6}
+	case hw.FPGA:
+		return Profile{Kind: hw.FPGA, MemoryMB: 0, PricePerMs: 4.0}
+	case hw.GPU:
+		return Profile{Kind: hw.GPU, MemoryMB: 0, PricePerMs: 3.0}
+	default:
+		return Profile{Kind: hw.CPU, MemoryMB: 128, PricePerMs: 1.0}
+	}
+}
+
+// Deployment is a function registered with the platform together with its
+// selected profiles.
+type Deployment struct {
+	Fn       *workloads.Function
+	Profiles []Profile
+}
+
+// SupportsKind reports whether the deployment has a profile for kind.
+func (d *Deployment) SupportsKind(k hw.PUKind) bool {
+	for _, pr := range d.Profiles {
+		if pr.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ProfileFor returns the profile for kind.
+func (d *Deployment) ProfileFor(k hw.PUKind) (Profile, bool) {
+	for _, pr := range d.Profiles {
+		if pr.Kind == k {
+			return pr, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Deploy registers a function under one or more profiles. FPGA/GPU profiles
+// are validated against the function's accelerator implementations; FPGA
+// deployment extends the device's vectorized image (one reprogramming per
+// deploy batch — use DeployAll for whole applications).
+func (rt *Runtime) Deploy(p *sim.Proc, funcName string, profiles ...Profile) error {
+	fn, err := rt.Registry.Get(funcName)
+	if err != nil {
+		return err
+	}
+	if len(profiles) == 0 {
+		profiles = []Profile{DefaultProfile(hw.CPU)}
+	}
+	for _, pr := range profiles {
+		switch pr.Kind {
+		case hw.FPGA:
+			if !fn.HasFPGA() {
+				return fmt.Errorf("molecule: %q has no FPGA implementation", funcName)
+			}
+		case hw.GPU:
+			if !fn.HasGPU() {
+				return fmt.Errorf("molecule: %q has no GPU implementation", funcName)
+			}
+		}
+	}
+	rt.funcs[funcName] = &Deployment{Fn: fn, Profiles: profiles}
+	// Accelerator profiles: install the function into the device image.
+	for _, pr := range profiles {
+		switch pr.Kind {
+		case hw.FPGA:
+			if err := rt.extendFPGAImages(p, funcName); err != nil {
+				return err
+			}
+		case hw.GPU:
+			if err := rt.loadGPUKernel(p, funcName); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Undeploy removes a function from the platform: its warm instances are
+// destroyed and FPGA devices drop it from their images at the next
+// reprogramming (the deferred-destroy semantics of §3.5).
+func (rt *Runtime) Undeploy(p *sim.Proc, funcName string) error {
+	if _, ok := rt.funcs[funcName]; !ok {
+		return fmt.Errorf("molecule: function %q not deployed", funcName)
+	}
+	delete(rt.funcs, funcName)
+	for _, n := range rt.orderedNodes() {
+		if n.cr != nil {
+			for _, inst := range append([]*instance(nil), n.warm[funcName]...) {
+				rt.destroy(p, inst)
+			}
+			delete(n.warm, funcName)
+		}
+		if n.runf != nil {
+			for i, fn := range n.fpgaVector {
+				if fn == funcName {
+					n.fpgaVector = append(n.fpgaVector[:i], n.fpgaVector[i+1:]...)
+					// Mark the live sandbox deleted; the fabric keeps the
+					// configuration until the next create replaces it.
+					for _, st := range n.runf.State(nil) {
+						if sb := n.runf.Sandbox(st.ID); sb != nil && sb.Spec.FuncID == funcName {
+							n.runf.Delete(p, []string{st.ID})
+						}
+					}
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Deployment returns the registered deployment for a function.
+func (rt *Runtime) Deployment(funcName string) (*Deployment, error) {
+	d, ok := rt.funcs[funcName]
+	if !ok {
+		return nil, fmt.Errorf("molecule: function %q not deployed", funcName)
+	}
+	return d, nil
+}
+
+// extendFPGAImages adds funcName to the vectorized image of the
+// least-loaded FPGA and reprograms it (Create with the full vector, §4.2
+// "caching FPGA function instances"). A device caches at most as many
+// instances as it has DRAM banks; beyond that the keep-alive policy evicts
+// the lowest-priority cached function, whose next request will reprogram
+// the image again (a cold image miss).
+func (rt *Runtime) extendFPGAImages(p *sim.Proc, funcName string) error {
+	var target *puNode
+	for _, n := range rt.orderedNodes() {
+		if n.runf == nil {
+			continue
+		}
+		if target == nil || len(n.fpgaVector) < len(target.fpgaVector) {
+			target = n
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("molecule: no FPGA available for %q", funcName)
+	}
+	for _, existing := range target.fpgaVector {
+		if existing == funcName {
+			return nil // already cached
+		}
+	}
+	// Up to three instances share each DRAM bank (Table 4 caches 12
+	// instances over an F1's four banks); the wrapper's bank locks keep
+	// sharers from running concurrently.
+	capSlots := 3 * len(target.pu.Device.Banks())
+	for len(target.fpgaVector) >= capSlots {
+		victim := 0
+		for i := 1; i < len(target.fpgaVector); i++ {
+			if rt.cache.Priority(target.fpgaVector[i]) < rt.cache.Priority(target.fpgaVector[victim]) {
+				victim = i
+			}
+		}
+		evicted := target.fpgaVector[victim]
+		target.fpgaVector = append(target.fpgaVector[:victim], target.fpgaVector[victim+1:]...)
+		target.pu.Device.ReleaseBank(evicted)
+		p.Tracef("fpga image on PU %d evicted %s (keep-alive)", target.pu.ID, evicted)
+	}
+	target.fpgaVector = append(target.fpgaVector, funcName)
+	rt.cache.hit(funcName) // cached functions participate in the policy
+	return rt.reprogramFPGA(p, target)
+}
+
+// reprogramFPGA flushes the node's current vector as one image and starts
+// (preps) every member so subsequent requests are warm.
+func (rt *Runtime) reprogramFPGA(p *sim.Proc, n *puNode) error {
+	rt.remoteCommand(p, n.pu.ID)
+	specs := make([]sandbox.Spec, 0, len(n.fpgaVector))
+	ids := make([]string, 0, len(n.fpgaVector))
+	for _, fn := range n.fpgaVector {
+		n.sandboxSeq++
+		id := fmt.Sprintf("fpga-%s-%d", fn, n.sandboxSeq)
+		specs = append(specs, sandbox.Spec{ID: id, FuncID: fn})
+		ids = append(ids, id)
+	}
+	if err := n.runf.Create(p, specs); err != nil {
+		return err
+	}
+	return n.runf.Start(p, ids)
+}
+
+// fpgaSandboxFor finds the running FPGA sandbox for funcName, returning the
+// node as well.
+func (rt *Runtime) fpgaSandboxFor(funcName string) (*puNode, string, error) {
+	for _, n := range rt.orderedNodes() {
+		if n.runf == nil {
+			continue
+		}
+		for _, st := range n.runf.State(nil) {
+			if st.State != sandbox.StateRunning {
+				continue
+			}
+			if sb := n.runf.Sandbox(st.ID); sb != nil && sb.Spec.FuncID == funcName {
+				return n, st.ID, nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("molecule: no running FPGA sandbox for %q", funcName)
+}
+
+// loadGPUKernel installs funcName on the first GPU.
+func (rt *Runtime) loadGPUKernel(p *sim.Proc, funcName string) error {
+	for _, n := range rt.orderedNodes() {
+		if n.rung == nil {
+			continue
+		}
+		n.sandboxSeq++
+		id := fmt.Sprintf("gpu-%s-%d", funcName, n.sandboxSeq)
+		rt.remoteCommand(p, n.pu.ID)
+		if err := n.rung.Create(p, []sandbox.Spec{{ID: id, FuncID: funcName}}); err != nil {
+			return err
+		}
+		return n.rung.Start(p, []string{id})
+	}
+	return fmt.Errorf("molecule: no GPU available for %q", funcName)
+}
+
+// gpuSandboxFor finds the running GPU sandbox for funcName.
+func (rt *Runtime) gpuSandboxFor(funcName string) (*puNode, string, error) {
+	for _, n := range rt.orderedNodes() {
+		if n.rung == nil {
+			continue
+		}
+		for _, st := range n.rung.State(nil) {
+			if st.State != sandbox.StateRunning {
+				continue
+			}
+			if sb := n.rung.Sandbox(st.ID); sb != nil && sb.Spec.FuncID == funcName {
+				return n, st.ID, nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("molecule: no running GPU sandbox for %q", funcName)
+}
+
+// placeGeneral picks a general-purpose PU for a new instance of d:
+// explicit pin if given, else the first profile kind with free capacity
+// (CPU first, then DPUs — matching the Fig 2a density experiment where DPU
+// instances absorb overflow).
+func (rt *Runtime) placeGeneral(d *Deployment, pin hw.PUID) (*puNode, error) {
+	if pin >= 0 {
+		n := rt.nodes[pin]
+		if n == nil || n.cr == nil {
+			return nil, fmt.Errorf("molecule: PU %d cannot host container functions", pin)
+		}
+		if !d.SupportsKind(n.pu.Kind) {
+			return nil, fmt.Errorf("molecule: %q has no %v profile", d.Fn.Name, n.pu.Kind)
+		}
+		if n.liveCount >= n.capacity {
+			return nil, fmt.Errorf("molecule: PU %d at capacity (%d)", pin, n.capacity)
+		}
+		return n, nil
+	}
+	for _, kind := range []hw.PUKind{hw.CPU, hw.DPU} {
+		if !d.SupportsKind(kind) {
+			continue
+		}
+		for _, pu := range rt.Machine.PUsOfKind(kind) {
+			n := rt.nodes[pu.ID]
+			if n != nil && n.cr != nil && n.liveCount < n.capacity {
+				return n, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("molecule: no capacity for %q on any PU", d.Fn.Name)
+}

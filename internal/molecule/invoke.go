@@ -1,0 +1,367 @@
+package molecule
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/lang"
+	"repro/internal/params"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// instance is one warm (or in-flight) container-based function instance.
+type instance struct {
+	fn        string
+	node      *puNode
+	sandboxID string
+	sb        *sandbox.ContainerSandbox
+	forked    bool
+}
+
+// InvokeOptions tune one invocation.
+type InvokeOptions struct {
+	// PU pins the invocation to a specific processing unit; -1 lets the
+	// placement policy choose. The zero value pins to PU 0 (the host), so
+	// construct options with DefaultInvokeOptions when unsure.
+	PU hw.PUID
+	// Arg parameterizes the function's cost model.
+	Arg workloads.Arg
+	// ForceCold skips the warm pool (cold-start measurements).
+	ForceCold bool
+	// RunBody executes the function's real Go body and stores its output in
+	// the result.
+	RunBody bool
+}
+
+// DefaultInvokeOptions lets placement choose the PU.
+func DefaultInvokeOptions() InvokeOptions { return InvokeOptions{PU: -1} }
+
+// Result reports one invocation's outcome and latency breakdown.
+type Result struct {
+	Fn      string
+	PU      hw.PUID
+	Kind    hw.PUKind
+	Cold    bool
+	Startup time.Duration // sandbox acquisition (0 on warm hits)
+	Exec    time.Duration // handler execution including dispatch and COW faults
+	Handler time.Duration // pure handler time on the chosen PU
+	Total   time.Duration
+	Output  any
+}
+
+// Invoke runs one request for funcName and returns its latency breakdown.
+// Accelerator profiles win placement when available (the request was priced
+// for them); otherwise the general-purpose placement policy picks a PU.
+func (rt *Runtime) Invoke(p *sim.Proc, funcName string, opts InvokeOptions) (Result, error) {
+	d, err := rt.Deployment(funcName)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.PU >= 0 {
+		if n := rt.nodes[opts.PU]; n != nil {
+			switch n.pu.Kind {
+			case hw.FPGA:
+				return rt.invokeFPGA(p, d, opts)
+			case hw.GPU:
+				return rt.invokeGPU(p, d, opts)
+			}
+		}
+		return rt.invokeGeneral(p, d, opts)
+	}
+	if d.SupportsKind(hw.FPGA) {
+		return rt.invokeFPGA(p, d, opts)
+	}
+	if d.SupportsKind(hw.GPU) {
+		return rt.invokeGPU(p, d, opts)
+	}
+	return rt.invokeGeneral(p, d, opts)
+}
+
+// invokeGeneral serves the request on a CPU or DPU container instance.
+func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
+	start := p.Now()
+	p.Tracef("invoke %s: request accepted", d.Fn.Name)
+	inst, cold, err := rt.acquire(p, d, opts.PU, opts.ForceCold)
+	if err != nil {
+		return Result{}, err
+	}
+	if cold {
+		p.Tracef("invoke %s: cold start complete on PU %d (sandbox %s)", d.Fn.Name, inst.node.pu.ID, inst.sandboxID)
+	} else {
+		p.Tracef("invoke %s: warm hit on PU %d (sandbox %s)", d.Fn.Name, inst.node.pu.ID, inst.sandboxID)
+	}
+	startupDone := p.Now()
+
+	// Deterministic scheduling noise, when configured.
+	if extra := rt.jitter(startupDone.Sub(start)) - startupDone.Sub(start); extra > 0 {
+		p.Sleep(extra)
+		startupDone = p.Now()
+	}
+	execStart := p.Now()
+	if !cold {
+		p.Sleep(params.WarmDispatchTime)
+	}
+	inst.sb.Inst.Invoke(p, rt.jitter(d.Fn.CPUCost(opts.Arg)), inst.forked)
+	res := Result{
+		Fn: d.Fn.Name, PU: inst.node.pu.ID, Kind: inst.node.pu.Kind, Cold: cold,
+		Startup: startupDone.Sub(start),
+		Exec:    p.Now().Sub(execStart),
+		Handler: inst.node.pu.ComputeTime(d.Fn.CPUCost(opts.Arg)),
+		Total:   p.Now().Sub(start),
+	}
+	if opts.RunBody && d.Fn.Body != nil {
+		out, err := d.Fn.Body(opts.Arg)
+		if err != nil {
+			rt.release(p, inst)
+			return Result{}, err
+		}
+		res.Output = out
+	}
+	inst.node.busy += res.Exec
+	rt.release(p, inst)
+	p.Tracef("invoke %s: done in %v (exec %v)", d.Fn.Name, res.Total, res.Exec)
+	pr, _ := d.ProfileFor(inst.node.pu.Kind)
+	rt.bill.Record(d.Fn.Name, inst.node.pu.Kind, res.Total, pr.PricePerMs)
+	return res, nil
+}
+
+// acquire returns a ready instance: a warm-pool hit, or a cold start via
+// cfork (or plain boot when cfork is disabled). Each cold start refreshes
+// the function's recreation cost in the greedy-dual keep-alive policy, so
+// expensive-to-recreate functions win cache space.
+func (rt *Runtime) acquire(p *sim.Proc, d *Deployment, pin hw.PUID, forceCold bool) (*instance, bool, error) {
+	if !forceCold {
+		if inst := rt.popWarm(d.Fn.Name, pin); inst != nil {
+			return inst, false, nil
+		}
+	}
+	start := p.Now()
+	inst, err := rt.coldStart(p, d, pin)
+	if err != nil {
+		return nil, false, err
+	}
+	rt.cache.setCost(d.Fn.Name, p.Now().Sub(start).Seconds()*1000)
+	return inst, true, nil
+}
+
+// popWarm takes a warm instance for fn, honoring a PU pin. Instances whose
+// sandbox was killed or deleted out-of-band are discarded rather than
+// served.
+func (rt *Runtime) popWarm(fn string, pin hw.PUID) *instance {
+	for _, n := range rt.orderedNodes() {
+		if pin >= 0 && n.pu.ID != pin {
+			continue
+		}
+		for pool := n.warm[fn]; len(pool) > 0; pool = n.warm[fn] {
+			inst := pool[len(pool)-1]
+			n.warm[fn] = pool[:len(pool)-1]
+			if inst.sb == nil || inst.sb.State != sandbox.StateRunning {
+				n.liveCount-- // dead instance leaves the machine
+				continue
+			}
+			rt.cache.hit(fn)
+			return inst
+		}
+	}
+	return nil
+}
+
+// coldStart creates and starts a new container sandbox for the function.
+// With cfork, Molecule forks from a dedicated template (code and
+// dependencies preloaded, §4.2), so the per-function dependency import is
+// off the critical path; plain boots pay it.
+func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID) (*instance, error) {
+	n, err := rt.placeGeneral(d, pin)
+	if err != nil {
+		return nil, err
+	}
+	rt.remoteCommand(p, n.pu.ID)
+	if !rt.Opts.UseCfork && rt.Opts.Startup == StartupSnapshot {
+		return rt.restoreFromSnapshot(p, d, n)
+	}
+	if rt.Opts.UseCfork {
+		// Template boot is a one-time cost per (PU, language), off the
+		// per-request critical path in steady state; it is charged here on
+		// first use.
+		if _, err := n.cr.EnsureTemplate(p, d.Fn.Lang); err != nil {
+			return nil, err
+		}
+	}
+	n.sandboxSeq++
+	id := fmt.Sprintf("c-%s-%d-%d", d.Fn.Name, n.pu.ID, n.sandboxSeq)
+	p.Tracef("coldstart %s: creating sandbox %s on PU %d", d.Fn.Name, id, n.pu.ID)
+	if err := sandbox.CreateOne(p, n.cr, sandbox.Spec{ID: id, FuncID: d.Fn.Name, Lang: d.Fn.Lang}); err != nil {
+		return nil, err
+	}
+	if err := sandbox.StartOne(p, n.cr, id); err != nil {
+		return nil, err
+	}
+	p.Tracef("coldstart %s: sandbox %s running", d.Fn.Name, id)
+	// Dedicated templates preload each hot function's dependencies (§4.2),
+	// keeping the import off the critical path; plain boots — and cforks
+	// from generic templates — pay it.
+	if !rt.Opts.UseCfork || rt.Opts.GenericTemplates {
+		p.Sleep(n.pu.StartupTime(d.Fn.DepImport))
+	}
+	sb := n.cr.Sandbox(id)
+	n.liveCount++
+	// Replenish the container pool in the background so the FuncContainer
+	// optimization holds for the next cold start.
+	if rt.Opts.PrewarmContainers > 0 && n.cr.PoolSize() < rt.Opts.PrewarmContainers {
+		cr := n.cr
+		rt.Env.Spawn("prewarm", func(bg *sim.Proc) { cr.Prewarm(bg, 1) })
+	}
+	return &instance{fn: d.Fn.Name, node: n, sandboxID: id, sb: sb, forked: sb.Forked}, nil
+}
+
+// restoreFromSnapshot serves a cold start by restoring a per-function
+// snapshot (StartupSnapshot mode). The first cold start of each function
+// pays a full plain boot plus the checkpoint; later cold starts restore in
+// SnapshotRestoreTime.
+func (rt *Runtime) restoreFromSnapshot(p *sim.Proc, d *Deployment, n *puNode) (*instance, error) {
+	snap, ok := n.snapshots[d.Fn.Name]
+	if !ok {
+		spec, err := lang.SpecFor(d.Fn.Lang)
+		if err != nil {
+			return nil, err
+		}
+		donor := lang.BaselineColdStart(p, n.os, spec, d.Fn.Name, "snap-donor-"+d.Fn.Name)
+		p.Sleep(n.pu.StartupTime(d.Fn.DepImport))
+		snap, err = lang.TakeSnapshot(p, donor)
+		if err != nil {
+			return nil, err
+		}
+		donor.Exit()
+		n.snapshots[d.Fn.Name] = snap
+	}
+	inst := snap.Restore(p, n.os)
+	n.sandboxSeq++
+	id := fmt.Sprintf("s-%s-%d-%d", d.Fn.Name, n.pu.ID, n.sandboxSeq)
+	// Register the restored instance under a sandbox record so the rest of
+	// the lifecycle (warm pool, kill, delete) is uniform.
+	sb := &sandbox.ContainerSandbox{
+		Spec:  sandbox.Spec{ID: id, FuncID: d.Fn.Name, Lang: d.Fn.Lang},
+		State: sandbox.StateRunning,
+		Inst:  inst,
+	}
+	n.cr.Adopt(id, sb)
+	n.liveCount++
+	return &instance{fn: d.Fn.Name, node: n, sandboxID: id, sb: sb, forked: false}, nil
+}
+
+// release returns an instance to the warm pool, evicting per keep-alive
+// policy.
+func (rt *Runtime) release(p *sim.Proc, inst *instance) {
+	n := inst.node
+	n.warm[inst.fn] = append(n.warm[inst.fn], inst)
+	evict := rt.cache.admit(inst.fn, n)
+	for _, victim := range evict {
+		rt.destroy(p, victim)
+	}
+}
+
+// destroy deletes a warm instance's sandbox.
+func (rt *Runtime) destroy(p *sim.Proc, inst *instance) {
+	n := inst.node
+	pool := n.warm[inst.fn]
+	for i, cand := range pool {
+		if cand == inst {
+			n.warm[inst.fn] = append(pool[:i], pool[i+1:]...)
+			break
+		}
+	}
+	sandbox.DeleteOne(p, n.cr, inst.sandboxID)
+	n.liveCount--
+}
+
+// AcquireHeld cold-starts (or reuses) an instance and keeps it allocated
+// until ReleaseHeld — the building block for the Fig 2a density experiment
+// and for pre-booted chain instances.
+func (rt *Runtime) AcquireHeld(p *sim.Proc, funcName string, pin hw.PUID) (*instance, error) {
+	d, err := rt.Deployment(funcName)
+	if err != nil {
+		return nil, err
+	}
+	inst, _, err := rt.acquire(p, d, pin, false)
+	return inst, err
+}
+
+// ReleaseHeld returns a held instance to the warm pool.
+func (rt *Runtime) ReleaseHeld(p *sim.Proc, inst *instance) { rt.release(p, inst) }
+
+// invokeFPGA serves the request on the function's FPGA sandbox.
+func (rt *Runtime) invokeFPGA(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
+	start := p.Now()
+	n, id, err := rt.fpgaSandboxFor(d.Fn.Name)
+	if err != nil {
+		// Image miss: (re)extend the vectorized image — the cold path.
+		if err := rt.extendFPGAImages(p, d.Fn.Name); err != nil {
+			return Result{}, err
+		}
+		n, id, err = rt.fpgaSandboxFor(d.Fn.Name)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	startupDone := p.Now()
+	argB, resB := d.Fn.Sizes(opts.Arg)
+	execStart := p.Now()
+	if err := n.runf.Invoke(p, id, argB, resB, d.Fn.FabricCost(opts.Arg), sandbox.InvokeOptions{}); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Fn: d.Fn.Name, PU: n.pu.ID, Kind: hw.FPGA,
+		Cold:    startupDone != start,
+		Startup: startupDone.Sub(start),
+		Exec:    p.Now().Sub(execStart),
+		Handler: p.Now().Sub(execStart),
+		Total:   p.Now().Sub(start),
+	}
+	n.busy += res.Exec
+	if opts.RunBody && d.Fn.Body != nil {
+		out, bodyErr := d.Fn.Body(opts.Arg)
+		if bodyErr != nil {
+			return Result{}, bodyErr
+		}
+		res.Output = out
+	}
+	pr, _ := d.ProfileFor(hw.FPGA)
+	rt.bill.Record(d.Fn.Name, hw.FPGA, res.Total, pr.PricePerMs)
+	return res, nil
+}
+
+// invokeGPU serves the request on the function's GPU sandbox.
+func (rt *Runtime) invokeGPU(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
+	start := p.Now()
+	n, id, err := rt.gpuSandboxFor(d.Fn.Name)
+	if err != nil {
+		if err := rt.loadGPUKernel(p, d.Fn.Name); err != nil {
+			return Result{}, err
+		}
+		n, id, err = rt.gpuSandboxFor(d.Fn.Name)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	startupDone := p.Now()
+	argB, resB := d.Fn.Sizes(opts.Arg)
+	execStart := p.Now()
+	if err := n.rung.Invoke(p, id, argB, resB, d.Fn.GPUKernel); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Fn: d.Fn.Name, PU: n.pu.ID, Kind: hw.GPU,
+		Cold:    startupDone != start,
+		Startup: startupDone.Sub(start),
+		Exec:    p.Now().Sub(execStart),
+		Handler: p.Now().Sub(execStart),
+		Total:   p.Now().Sub(start),
+	}
+	n.busy += res.Exec
+	pr, _ := d.ProfileFor(hw.GPU)
+	rt.bill.Record(d.Fn.Name, hw.GPU, res.Total, pr.PricePerMs)
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package molecule
+
+import "sort"
+
+// keepAlive implements the keep-alive (warm instance) policy: a
+// greedy-dual-frequency cache in the style of FaasCache (§4.2, §5). Each
+// function carries a priority of clock + frequency × cost; the cache evicts
+// the lowest-priority function's instances first, and the running clock is
+// advanced to each evicted priority so recently-evicted functions do not
+// immediately lose again.
+type keepAlive struct {
+	capPerPU int
+	clock    float64
+	stats    map[string]*kaStat
+}
+
+type kaStat struct {
+	freq int
+	cost float64 // relative recreation cost (cold-start expense)
+	pri  float64
+}
+
+func newKeepAlive(capPerPU int) *keepAlive {
+	if capPerPU <= 0 {
+		capPerPU = 64
+	}
+	return &keepAlive{capPerPU: capPerPU, stats: make(map[string]*kaStat)}
+}
+
+func (ka *keepAlive) stat(fn string) *kaStat {
+	s, ok := ka.stats[fn]
+	if !ok {
+		s = &kaStat{cost: 1}
+		ka.stats[fn] = s
+	}
+	return s
+}
+
+// hit records a warm-pool hit for fn, boosting its priority.
+func (ka *keepAlive) hit(fn string) {
+	s := ka.stat(fn)
+	s.freq++
+	s.pri = ka.clock + float64(s.freq)*s.cost
+}
+
+// setCost tunes a function's recreation cost (e.g. FPGA functions are far
+// more expensive to recreate than cfork'd containers).
+func (ka *keepAlive) setCost(fn string, cost float64) {
+	if cost <= 0 {
+		cost = 1
+	}
+	ka.stat(fn).cost = cost
+}
+
+// admit is called after an instance of fn joins node n's warm pool. It
+// returns the instances to evict to respect the per-PU cap.
+func (ka *keepAlive) admit(fn string, n *puNode) []*instance {
+	s := ka.stat(fn)
+	s.freq++
+	s.pri = ka.clock + float64(s.freq)*s.cost
+
+	total := 0
+	for _, pool := range n.warm {
+		total += len(pool)
+	}
+	var evict []*instance
+	for total > ka.capPerPU {
+		names := make([]string, 0, len(n.warm))
+		for name, pool := range n.warm {
+			if len(pool) > 0 {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		victimFn := ""
+		victimPri := 0.0
+		for _, name := range names {
+			pri := ka.stat(name).pri
+			if victimFn == "" || pri < victimPri {
+				victimFn, victimPri = name, pri
+			}
+		}
+		if victimFn == "" {
+			break
+		}
+		pool := n.warm[victimFn]
+		evict = append(evict, pool[0])
+		n.warm[victimFn] = pool[1:]
+		ka.clock = victimPri // greedy-dual aging
+		total--
+	}
+	return evict
+}
+
+// Priority exposes a function's current cache priority (for tests).
+func (ka *keepAlive) Priority(fn string) float64 { return ka.stat(fn).pri }

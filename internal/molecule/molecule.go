@@ -1,0 +1,478 @@
+// Package molecule implements the Molecule serverless runtime for
+// heterogeneous computers (§4 of the paper).
+//
+// Molecule runs on one general-purpose PU of a heterogeneous computer (the
+// host CPU here) and manages functions on every other PU through XPU-Shim:
+// executors are xSpawn'd onto general-purpose PUs and drive the local
+// vectorized-sandbox runtime; accelerators (FPGA, GPU) get virtual shim
+// nodes on the host that run runf/rung. The runtime implements the paper's
+// two latency optimizations — cfork-based startup (§4.2) and nIPC-based
+// direct-connect DAG communication (§4.3) — plus keep-alive instance
+// caching with a greedy-dual policy and per-PU-type resource profiles.
+package molecule
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/lang"
+	"repro/internal/localos"
+	"repro/internal/params"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/xpu"
+)
+
+// StartupMode selects the cold-start mechanism.
+type StartupMode int
+
+const (
+	// StartupCfork forks instances from language templates (§4.2, the
+	// paper's contribution).
+	StartupCfork StartupMode = iota
+	// StartupPlain boots a fresh runtime per instance (the baseline path).
+	StartupPlain
+	// StartupSnapshot restores instances from per-function snapshots — the
+	// Replayable/FireCracker-class alternative of the Fig 15 design space.
+	StartupSnapshot
+)
+
+var startupModeNames = map[StartupMode]string{
+	StartupCfork: "cfork", StartupPlain: "plain", StartupSnapshot: "snapshot",
+}
+
+func (m StartupMode) String() string {
+	if s, ok := startupModeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("StartupMode(%d)", int(m))
+}
+
+// Options configure a Molecule runtime.
+type Options struct {
+	// UseCfork enables fork-based startup from language templates (§4.2).
+	// When false, Startup selects the alternative mechanism. Retained as a
+	// boolean for compatibility: UseCfork=true forces StartupCfork.
+	UseCfork bool
+	// Startup picks the cold-start mechanism when UseCfork is false:
+	// StartupPlain (default zero value) or StartupSnapshot.
+	Startup StartupMode
+	// CpusetMutexPatch applies the kernel cpuset patch (Fig 11a). The
+	// paper's server-side results (Fig 14) run without it.
+	CpusetMutexPatch bool
+	// Retention enables FPGA DRAM data retention for zero-copy chains
+	// (§4.3).
+	Retention bool
+	// ErasePolicy for FPGA images; Molecule's default is NoErase.
+	ErasePolicy sandbox.ErasePolicy
+	// KeepWarmPerPU bounds the warm-instance cache per PU (0 = default).
+	KeepWarmPerPU int
+	// PrewarmContainers pre-creates this many function containers per
+	// general-purpose PU off the critical path (the FuncContainer
+	// optimization); they are replenished in the background.
+	PrewarmContainers int
+	// GenericTemplates disables §4.2's dedicated templates: cforked
+	// children then import the function's dependencies on the critical
+	// path instead of inheriting them from a per-function template.
+	GenericTemplates bool
+	// JitterPct adds deterministic per-request latency variation (e.g. 0.08
+	// = ±8%), hash-derived from the request sequence so runs stay
+	// reproducible. Zero (the default) disables it; calibration tests rely
+	// on exact latencies.
+	JitterPct float64
+}
+
+// DefaultOptions returns the configuration the paper evaluates as
+// "Molecule".
+func DefaultOptions() Options {
+	return Options{
+		UseCfork:          true,
+		CpusetMutexPatch:  false,
+		Retention:         true,
+		ErasePolicy:       sandbox.NoErase,
+		KeepWarmPerPU:     64,
+		PrewarmContainers: 8,
+	}
+}
+
+// puNode bundles everything Molecule holds for one PU.
+type puNode struct {
+	pu   *hw.PU
+	node *xpu.Node
+
+	// General-purpose PUs.
+	os        *localos.OS
+	cr        *sandbox.ContainerRuntime
+	execXPID  xpu.XPID // the executor process on this PU
+	execDead  bool     // executor crashed; respawned on next command
+	warm      map[string][]*instance
+	capacity  int // max concurrent instances (density model)
+	liveCount int
+
+	// Accelerators.
+	runf *sandbox.RunF
+	rung *sandbox.RunG
+	// fpgaVector is the set of functions currently baked into the image.
+	fpgaVector []string
+	// snapshots caches per-function checkpoint images (StartupSnapshot).
+	snapshots map[string]*lang.Snapshot
+	// busy accumulates handler execution time on this PU (utilization).
+	busy time.Duration
+	// sandboxSeq numbers FPGA/GPU sandbox IDs.
+	sandboxSeq int
+}
+
+// Runtime is the Molecule serverless runtime for one heterogeneous
+// computer.
+type Runtime struct {
+	Env      *sim.Env
+	Machine  *hw.Machine
+	Shim     *xpu.Shim
+	Registry *workloads.Registry
+	Opts     Options
+
+	hostID hw.PUID
+	nodes  map[hw.PUID]*puNode
+	// order lists node PU IDs in machine order so every scan over nodes is
+	// deterministic (map iteration order is not).
+	order []hw.PUID
+	funcs map[string]*Deployment
+	cache *keepAlive
+	bill  *Billing
+
+	fifoSeq   int
+	jitterSeq uint64
+}
+
+// New builds a Molecule runtime over the machine: one OS and shim node per
+// general-purpose PU, virtual shim nodes plus runf/rung for accelerators,
+// and an executor xSpawn'd onto every non-host general-purpose PU. The
+// calling process pays the bootstrap costs (template boots are charged when
+// first used).
+func New(p *sim.Proc, m *hw.Machine, reg *workloads.Registry, opts Options) (*Runtime, error) {
+	env := p.Env()
+	rt := &Runtime{
+		Env:      env,
+		Machine:  m,
+		Shim:     xpu.NewShim(env, m),
+		Registry: reg,
+		Opts:     opts,
+		nodes:    make(map[hw.PUID]*puNode),
+		funcs:    make(map[string]*Deployment),
+		bill:     NewBilling(),
+	}
+	rt.cache = newKeepAlive(opts.KeepWarmPerPU)
+
+	// Pass 1: general-purpose PUs get a local OS and a shim node.
+	var host *hw.PU
+	for _, pu := range m.PUs() {
+		if !pu.Kind.GeneralPurpose() {
+			continue
+		}
+		if host == nil && pu.Kind == hw.CPU {
+			host = pu
+		}
+		os := localos.New(env, pu)
+		node := rt.Shim.AddNode(pu, os)
+		cr := sandbox.NewContainerRuntime(os)
+		cr.UseCfork = opts.UseCfork
+		cr.CpusetMutexPatch = opts.CpusetMutexPatch
+		rt.nodes[pu.ID] = &puNode{
+			pu: pu, node: node, os: os, cr: cr,
+			warm:      make(map[string][]*instance),
+			snapshots: make(map[string]*lang.Snapshot),
+			capacity:  densityCapacity(pu),
+		}
+		rt.order = append(rt.order, pu.ID)
+	}
+	if host == nil {
+		return nil, fmt.Errorf("molecule: machine has no host CPU")
+	}
+	rt.hostID = host.ID
+	hostNode := rt.nodes[host.ID]
+
+	// Pass 2: accelerators get virtual shim nodes on the host plus their
+	// sandbox runtimes.
+	for _, pu := range m.PUs() {
+		switch pu.Kind {
+		case hw.FPGA:
+			vn := rt.Shim.AddVirtualNode(pu, host, hostNode.os)
+			rf, err := sandbox.NewRunF(m, pu, host)
+			if err != nil {
+				return nil, err
+			}
+			rf.Policy = opts.ErasePolicy
+			pu.Device.SetRetention(opts.Retention)
+			rt.nodes[pu.ID] = &puNode{pu: pu, node: vn, runf: rf}
+			rt.order = append(rt.order, pu.ID)
+		case hw.GPU:
+			vn := rt.Shim.AddVirtualNode(pu, host, hostNode.os)
+			rg, err := sandbox.NewRunG(env, m, pu, host)
+			if err != nil {
+				return nil, err
+			}
+			rt.nodes[pu.ID] = &puNode{pu: pu, node: vn, rung: rg}
+			rt.order = append(rt.order, pu.ID)
+		}
+	}
+
+	// Pass 3: xSpawn an executor onto each non-host general-purpose PU;
+	// the host runs its executor in-process.
+	hostNode.execXPID = hostNode.node.Register(hostNode.os.NewDetachedProcess("molecule-executor"))
+	for _, n := range rt.orderedNodes() {
+		if n.pu.ID == rt.hostID || !n.pu.Kind.GeneralPurpose() {
+			continue
+		}
+		x, err := hostNode.node.XSpawn(p, n.pu.ID, "molecule-executor", nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		n.execXPID = x
+	}
+
+	// Pass 4: pre-create function containers off the critical path.
+	if opts.PrewarmContainers > 0 {
+		for _, n := range rt.orderedNodes() {
+			if n.cr != nil {
+				n.cr.Prewarm(p, opts.PrewarmContainers)
+			}
+		}
+	}
+	return rt, nil
+}
+
+// densityCapacity models how many concurrent instances a PU's resources
+// support (Fig 2a: 1000 on the host, ~256 per Bluefield DPU).
+func densityCapacity(pu *hw.PU) int {
+	switch pu.Kind {
+	case hw.CPU:
+		return params.DensityCPUInstances
+	case hw.DPU:
+		return params.DensityPerDPUInstances
+	default:
+		return 0
+	}
+}
+
+// orderedNodes returns the per-PU state in machine (PU-ID) order.
+func (rt *Runtime) orderedNodes() []*puNode {
+	out := make([]*puNode, 0, len(rt.order))
+	for _, id := range rt.order {
+		out = append(out, rt.nodes[id])
+	}
+	return out
+}
+
+// HostID returns the PU running the Molecule control plane.
+func (rt *Runtime) HostID() hw.PUID { return rt.hostID }
+
+// Node returns Molecule's per-PU state (nil for unknown PUs). Exposed for
+// benchmarks and tests.
+func (rt *Runtime) Node(id hw.PUID) *puNode { return rt.nodes[id] }
+
+// ContainerRuntimeOn returns the container runtime for a general-purpose
+// PU, or nil.
+func (rt *Runtime) ContainerRuntimeOn(id hw.PUID) *sandbox.ContainerRuntime {
+	if n := rt.nodes[id]; n != nil {
+		return n.cr
+	}
+	return nil
+}
+
+// RunFOn returns the FPGA runtime for an FPGA PU, or nil.
+func (rt *Runtime) RunFOn(id hw.PUID) *sandbox.RunF {
+	if n := rt.nodes[id]; n != nil {
+		return n.runf
+	}
+	return nil
+}
+
+// RunGOn returns the GPU runtime for a GPU PU, or nil.
+func (rt *Runtime) RunGOn(id hw.PUID) *sandbox.RunG {
+	if n := rt.nodes[id]; n != nil {
+		return n.rung
+	}
+	return nil
+}
+
+// Utilization returns a PU's accumulated-busy fraction of elapsed virtual
+// time (0 when no time has passed).
+func (rt *Runtime) Utilization(id hw.PUID) float64 {
+	n := rt.nodes[id]
+	if n == nil || rt.Env.Now() == 0 {
+		return 0
+	}
+	return float64(n.busy) / float64(time.Duration(rt.Env.Now()))
+}
+
+// Billing returns the runtime's billing ledger.
+func (rt *Runtime) Billing() *Billing { return rt.bill }
+
+// SetCapacity overrides a general-purpose PU's instance capacity — used by
+// scaled-down experiments.
+func (rt *Runtime) SetCapacity(id hw.PUID, capacity int) {
+	if n := rt.nodes[id]; n != nil && n.pu.Kind.GeneralPurpose() {
+		n.capacity = capacity
+	}
+}
+
+// Capacity reports the total instance capacity of all general-purpose PUs
+// (the Fig 2a density metric).
+func (rt *Runtime) Capacity() int {
+	total := 0
+	for _, n := range rt.orderedNodes() {
+		total += n.capacity
+	}
+	return total
+}
+
+// LiveInstances reports currently-placed instances across the machine.
+func (rt *Runtime) LiveInstances() int {
+	total := 0
+	for _, n := range rt.orderedNodes() {
+		total += n.liveCount
+	}
+	return total
+}
+
+// KillExecutor simulates an executor crash on the given PU. Warm instances
+// managed by that executor are lost; the next command to the PU detects the
+// failure and re-spawns the executor over XPU-Shim.
+func (rt *Runtime) KillExecutor(p *sim.Proc, id hw.PUID) error {
+	n := rt.nodes[id]
+	if n == nil || !n.pu.Kind.GeneralPurpose() {
+		return fmt.Errorf("molecule: PU %d runs no executor", id)
+	}
+	if id == rt.hostID {
+		return fmt.Errorf("molecule: cannot kill the control-plane executor")
+	}
+	n.execDead = true
+	// The executor's children die with it: drop the PU's warm pools.
+	for fn, pool := range n.warm {
+		for _, inst := range pool {
+			sandbox.DeleteOne(p, n.cr, inst.sandboxID)
+			n.liveCount--
+		}
+		delete(n.warm, fn)
+	}
+	return nil
+}
+
+// ExecutorAlive reports whether the PU's executor is running.
+func (rt *Runtime) ExecutorAlive(id hw.PUID) bool {
+	n := rt.nodes[id]
+	return n != nil && !n.execDead
+}
+
+// respawnExecutor re-creates a crashed executor through xSpawn.
+func (rt *Runtime) respawnExecutor(p *sim.Proc, n *puNode) error {
+	hostNode := rt.nodes[rt.hostID]
+	x, err := hostNode.node.XSpawn(p, n.pu.ID, "molecule-executor", nil, nil)
+	if err != nil {
+		return err
+	}
+	n.execXPID = x
+	n.execDead = false
+	p.Tracef("executor on PU %d respawned as %v", n.pu.ID, x)
+	return nil
+}
+
+// remoteCommand charges the control-plane cost of commanding an executor on
+// PU id: free on the host, nIPC + executor handling elsewhere (Fig 10a/b:
+// remote cfork adds ~1-3ms). A crashed executor is detected (command
+// timeout) and respawned before the command retries.
+func (rt *Runtime) remoteCommand(p *sim.Proc, id hw.PUID) {
+	if id == rt.hostID {
+		return
+	}
+	n := rt.nodes[id]
+	if n == nil {
+		return
+	}
+	if n.execDead {
+		rt.respawnExecutor(p, n)
+	}
+	target := n.node.Host.ID // commands to virtual nodes land on their host
+	if target == rt.hostID {
+		return
+	}
+	if _, err := rt.Machine.Transfer(p, rt.hostID, target, 256); err == nil {
+		p.Sleep(params.ExecutorCommandOverhead)
+		rt.Machine.Transfer(p, target, rt.hostID, 128)
+	}
+}
+
+func (rt *Runtime) nextFIFO(prefix string) string {
+	rt.fifoSeq++
+	return fmt.Sprintf("%s-%d", prefix, rt.fifoSeq)
+}
+
+// jitter stretches or shrinks d by a deterministic pseudo-random factor in
+// [1-JitterPct, 1+JitterPct], derived from a per-runtime sequence number
+// (splitmix64), modeling scheduling noise while keeping runs reproducible.
+func (rt *Runtime) jitter(d time.Duration) time.Duration {
+	if rt.Opts.JitterPct <= 0 || d <= 0 {
+		return d
+	}
+	rt.jitterSeq++
+	z := rt.jitterSeq + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z%2001)/1000 - 1 // [-1, 1]
+	return time.Duration(float64(d) * (1 + rt.Opts.JitterPct*frac))
+}
+
+// scaledDispatch is the language-runtime dispatch work per request/DAG hop
+// on a PU.
+func scaledDispatch(pu *hw.PU) time.Duration {
+	if pu.Kind == hw.DPU {
+		return params.DAGDispatchDPU
+	}
+	return params.DAGDispatchCPU
+}
+
+// NodeStatus is the observable state of one PU in a Snapshot.
+type NodeStatus struct {
+	PU            hw.PUID
+	Kind          hw.PUKind
+	Name          string
+	Capacity      int
+	Live          int
+	WarmPerFunc   map[string]int
+	ExecutorAlive bool
+	// Busy is accumulated handler execution time; Utilization divides it by
+	// elapsed virtual time.
+	Busy time.Duration
+	// FPGAImage lists the functions cached in the device's current image.
+	FPGAImage []string
+}
+
+// Snapshot returns a structured view of the runtime's state for
+// observability endpoints and tests.
+func (rt *Runtime) Snapshot() []NodeStatus {
+	out := make([]NodeStatus, 0, len(rt.order))
+	for _, n := range rt.orderedNodes() {
+		st := NodeStatus{
+			PU: n.pu.ID, Kind: n.pu.Kind, Name: n.pu.Name,
+			Capacity: n.capacity, Live: n.liveCount,
+			ExecutorAlive: n.pu.Kind.GeneralPurpose() && !n.execDead,
+			Busy:          n.busy,
+		}
+		if len(n.warm) > 0 {
+			st.WarmPerFunc = make(map[string]int, len(n.warm))
+			for fn, pool := range n.warm {
+				if len(pool) > 0 {
+					st.WarmPerFunc[fn] = len(pool)
+				}
+			}
+		}
+		if n.runf != nil {
+			st.FPGAImage = append([]string(nil), n.fpgaVector...)
+		}
+		out = append(out, st)
+	}
+	return out
+}

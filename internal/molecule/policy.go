@@ -1,0 +1,135 @@
+package molecule
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// PlacementPolicy selects a PU for each function of an application when a
+// multi-setting request arrives (§5 "Profile selections"): users may deploy
+// a function under several profiles, and the control plane chooses among
+// them by platform policy.
+type PlacementPolicy int
+
+const (
+	// PlaceChainAffinity locates every function of a chain on the same PU
+	// (the paper's default: co-location minimizes communication latency).
+	PlaceChainAffinity PlacementPolicy = iota
+	// PlaceCheapest picks the lowest-price profile with free capacity
+	// (DPU first) for each function independently.
+	PlaceCheapest
+	// PlaceFastest picks the highest-performance general-purpose profile
+	// (CPU first), falling back to DPUs when the CPU is full.
+	PlaceFastest
+	// PlaceScatter round-robins functions across PUs — the adversarial
+	// placement used as the ablation against chain affinity.
+	PlaceScatter
+)
+
+var policyNames = map[PlacementPolicy]string{
+	PlaceChainAffinity: "chain-affinity",
+	PlaceCheapest:      "cheapest",
+	PlaceFastest:       "fastest",
+	PlaceScatter:       "scatter",
+}
+
+func (p PlacementPolicy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+}
+
+// candidatePUs returns the general-purpose PUs (in preference order) that
+// can host deployment d under the policy.
+func (rt *Runtime) candidatePUs(d *Deployment, policy PlacementPolicy) []hw.PUID {
+	var cpus, dpus []hw.PUID
+	for _, pu := range rt.Machine.PUs() {
+		n := rt.nodes[pu.ID]
+		if n == nil || n.cr == nil || !d.SupportsKind(pu.Kind) {
+			continue
+		}
+		if n.liveCount >= n.capacity {
+			continue
+		}
+		if pu.Kind == hw.CPU {
+			cpus = append(cpus, pu.ID)
+		} else {
+			dpus = append(dpus, pu.ID)
+		}
+	}
+	switch policy {
+	case PlaceCheapest:
+		return append(dpus, cpus...)
+	default:
+		return append(cpus, dpus...)
+	}
+}
+
+// PlaceChain assigns each function of a chain to a PU according to the
+// policy, respecting capacity and profile support. It returns one PUID per
+// function.
+func (rt *Runtime) PlaceChain(names []string, policy PlacementPolicy) ([]hw.PUID, error) {
+	out := make([]hw.PUID, len(names))
+	deps := make([]*Deployment, len(names))
+	for i, name := range names {
+		d, err := rt.Deployment(name)
+		if err != nil {
+			return nil, err
+		}
+		deps[i] = d
+	}
+	switch policy {
+	case PlaceChainAffinity:
+		// Find one PU every function supports, preferring the host.
+		for _, cand := range rt.candidatePUs(deps[0], PlaceFastest) {
+			ok := true
+			kind := rt.Machine.PU(cand).Kind
+			for _, d := range deps {
+				if !d.SupportsKind(kind) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for i := range out {
+					out[i] = cand
+				}
+				return out, nil
+			}
+		}
+		return nil, fmt.Errorf("molecule: no single PU supports the whole chain")
+	case PlaceScatter:
+		// Round-robin across every eligible PU per function.
+		rot := 0
+		for i, d := range deps {
+			cands := rt.candidatePUs(d, PlaceFastest)
+			if len(cands) == 0 {
+				return nil, fmt.Errorf("molecule: no capacity for %q", names[i])
+			}
+			out[i] = cands[rot%len(cands)]
+			rot++
+		}
+		return out, nil
+	default: // PlaceCheapest, PlaceFastest
+		for i, d := range deps {
+			cands := rt.candidatePUs(d, policy)
+			if len(cands) == 0 {
+				return nil, fmt.Errorf("molecule: no capacity for %q", names[i])
+			}
+			out[i] = cands[0]
+		}
+		return out, nil
+	}
+}
+
+// InvokeChainWithPolicy places the chain under the policy and invokes it.
+func (rt *Runtime) InvokeChainWithPolicy(p *sim.Proc, names []string, policy PlacementPolicy) (ChainResult, error) {
+	placement, err := rt.PlaceChain(names, policy)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return rt.InvokeChain(p, names, ChainOptions{Placement: placement})
+}

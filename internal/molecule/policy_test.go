@@ -1,0 +1,156 @@
+package molecule
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if PlaceChainAffinity.String() != "chain-affinity" || PlacementPolicy(9).String() == "" {
+		t.Error("policy String broken")
+	}
+}
+
+func deployAlexaBoth(t *testing.T, p *sim.Proc, rt *Runtime) {
+	t.Helper()
+	for _, fn := range workloads.AlexaChain() {
+		if err := rt.Deploy(p, fn, DefaultProfile(hw.CPU), DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlaceChainAffinityColocates(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployAlexaBoth(t, p, rt)
+		pl, err := rt.PlaceChain(workloads.AlexaChain(), PlaceChainAffinity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pu := range pl {
+			if pu != pl[0] {
+				t.Errorf("function %d on PU %d, want co-located on %d", i, pu, pl[0])
+			}
+		}
+		if pl[0] != 0 {
+			t.Errorf("chain placed on PU %d, want the host", pl[0])
+		}
+	})
+}
+
+func TestPlaceChainAffinityOverflowsWhenHostFull(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployAlexaBoth(t, p, rt)
+		rt.Node(0).liveCount = rt.Node(0).capacity // host full
+		pl, err := rt.PlaceChain(workloads.AlexaChain(), PlaceChainAffinity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		if pl[0] != dpu {
+			t.Errorf("chain placed on PU %d with full host, want DPU %d", pl[0], dpu)
+		}
+	})
+}
+
+func TestPlaceCheapestPrefersDPU(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployAlexaBoth(t, p, rt)
+		pl, err := rt.PlaceChain(workloads.AlexaChain(), PlaceCheapest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		for i, pu := range pl {
+			if pu != dpu {
+				t.Errorf("function %d on PU %d, cheapest policy should pick the DPU", i, pu)
+			}
+		}
+	})
+}
+
+func TestPlaceFastestPrefersCPU(t *testing.T) {
+	run(t, hw.Config{DPUs: 2}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployAlexaBoth(t, p, rt)
+		pl, err := rt.PlaceChain(workloads.AlexaChain(), PlaceFastest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pu := range pl {
+			if pu != 0 {
+				t.Errorf("function %d on PU %d, fastest policy should pick the host", i, pu)
+			}
+		}
+	})
+}
+
+func TestPlaceScatterSpreads(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployAlexaBoth(t, p, rt)
+		pl, err := rt.PlaceChain(workloads.AlexaChain(), PlaceScatter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[hw.PUID]bool{}
+		for _, pu := range pl {
+			seen[pu] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("scatter used %d PUs, want >= 2 (placement %v)", len(seen), pl)
+		}
+	})
+}
+
+func TestPlaceChainUndeployed(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if _, err := rt.PlaceChain([]string{"nope"}, PlaceChainAffinity); err == nil {
+			t.Error("placement of undeployed chain succeeded")
+		}
+	})
+}
+
+func TestPlaceChainAffinityNoCommonPU(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		// One function CPU-only, one DPU-only: no single PU fits both.
+		if err := rt.Deploy(p, "alexa-frontend", DefaultProfile(hw.CPU)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Deploy(p, "alexa-interact", DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.PlaceChain([]string{"alexa-frontend", "alexa-interact"}, PlaceChainAffinity); err == nil {
+			t.Error("affinity placement succeeded with no common PU")
+		}
+	})
+}
+
+// TestChainAffinityBeatsScatter is the placement ablation DESIGN.md calls
+// out: co-locating a chain must yield lower end-to-end latency than
+// scattering it across PUs.
+func TestChainAffinityBeatsScatter(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		deployAlexaBoth(t, p, rt)
+		chain := workloads.AlexaChain()
+		// Warm both placements.
+		if _, err := rt.InvokeChainWithPolicy(p, chain, PlaceChainAffinity); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.InvokeChainWithPolicy(p, chain, PlaceScatter); err != nil {
+			t.Fatal(err)
+		}
+		aff, err := rt.InvokeChainWithPolicy(p, chain, PlaceChainAffinity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := rt.InvokeChainWithPolicy(p, chain, PlaceScatter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aff.Total >= sc.Total {
+			t.Errorf("affinity (%v) not faster than scatter (%v)", aff.Total, sc.Total)
+		}
+	})
+}

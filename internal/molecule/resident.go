@@ -1,0 +1,108 @@
+package molecule
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Resident is a warm instance running as a resident server process: it
+// blocks on its self_fifo, serves requests one at a time (so concurrent
+// callers queue, like a real single-threaded handler), and responds over
+// the duplex connection — the steady-state data plane of §4.2's "Molecule
+// can assign requests to the child instance".
+type Resident struct {
+	rt   *Runtime
+	fn   string
+	inst *instance
+	edge *edge
+	d    *Deployment
+
+	served  int
+	stopped bool
+}
+
+// StartResident acquires an instance of fn on the given PU (cold-starting
+// if needed) and runs it as a resident server. The caller owns the instance
+// until Stop.
+func (rt *Runtime) StartResident(p *sim.Proc, fn string, pu hw.PUID) (*Resident, error) {
+	d, err := rt.Deployment(fn)
+	if err != nil {
+		return nil, err
+	}
+	inst, _, err := rt.acquire(p, d, pu, false)
+	if err != nil {
+		return nil, err
+	}
+	hostNode := rt.nodes[rt.hostID]
+	gw := endpoint{node: hostNode, proc: hostNode.os.NewDetachedProcess("resident-gw")}
+	e, err := rt.buildEdge(p, gw, instEndpoint(inst))
+	if err != nil {
+		rt.release(p, inst)
+		return nil, err
+	}
+	r := &Resident{rt: rt, fn: fn, inst: inst, edge: e, d: d}
+
+	rt.Env.Spawn("resident-"+fn, func(sp *sim.Proc) {
+		for {
+			msg, err := e.req.recv(sp)
+			if err != nil {
+				return // connection closed: shut down
+			}
+			if msg.Kind == "shutdown" {
+				return
+			}
+			sp.Sleep(scaledDispatch(inst.node.pu))
+			arg, _ := msg.Meta.(workloads.Arg)
+			inst.sb.Inst.Invoke(sp, d.Fn.CPUCost(arg), inst.forked)
+			_, resB := d.Fn.Sizes(arg)
+			e.resp.send(sp, localos.Message{Kind: "resp", Payload: make([]byte, resB)})
+		}
+	})
+	return r, nil
+}
+
+// Call sends one request to the resident instance and waits for its
+// response, returning the request latency. Concurrent callers are served in
+// FIFO order by the single-threaded handler.
+func (r *Resident) Call(p *sim.Proc, arg workloads.Arg) (time.Duration, error) {
+	if r.stopped {
+		return 0, fmt.Errorf("molecule: resident %s stopped", r.fn)
+	}
+	argB, _ := r.d.Fn.Sizes(arg)
+	start := p.Now()
+	if err := r.edge.req.send(p, localos.Message{
+		Kind: "req", Payload: make([]byte, argB), Meta: arg,
+	}); err != nil {
+		return 0, err
+	}
+	if _, err := r.edge.resp.recv(p); err != nil {
+		return 0, err
+	}
+	r.served++
+	lat := p.Now().Sub(start)
+	pr, _ := r.d.ProfileFor(r.inst.node.pu.Kind)
+	r.rt.bill.Record(r.fn, r.inst.node.pu.Kind, lat, pr.PricePerMs)
+	return lat, nil
+}
+
+// Served reports the number of completed requests.
+func (r *Resident) Served() int { return r.served }
+
+// PU reports where the resident instance runs.
+func (r *Resident) PU() hw.PUID { return r.inst.node.pu.ID }
+
+// Stop shuts the server process down and returns the instance to the warm
+// pool.
+func (r *Resident) Stop(p *sim.Proc) {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.edge.req.send(p, localos.Message{Kind: "shutdown"})
+	r.rt.release(p, r.inst)
+}

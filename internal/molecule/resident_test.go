@@ -1,0 +1,161 @@
+package molecule
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestResidentServesRequests(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if err := rt.Deploy(p, "matmul"); err != nil {
+			t.Fatal(err)
+		}
+		r, err := rt.StartResident(p, "matmul", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat1, err := r.Call(p, workloads.Arg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat2, err := r.Call(p, workloads.Arg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Steady-state calls: dispatch + exec (~1.6ms), no startup.
+		if lat2 > 3*time.Millisecond {
+			t.Errorf("steady call = %v, want ~1.6ms", lat2)
+		}
+		if lat1 < lat2 {
+			t.Errorf("first call (%v) cheaper than second (%v)?", lat1, lat2)
+		}
+		if r.Served() != 2 {
+			t.Errorf("served = %d, want 2", r.Served())
+		}
+		r.Stop(p)
+		if _, err := r.Call(p, workloads.Arg{}); err == nil {
+			t.Error("call after Stop succeeded")
+		}
+		r.Stop(p) // idempotent
+	})
+}
+
+// TestResidentQueueing: a single-threaded resident serializes concurrent
+// callers, so the k-th caller waits ~k execution times.
+func TestResidentQueueing(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if err := rt.Deploy(p, "pyaes"); err != nil { // 19.5ms exec
+			t.Fatal(err)
+		}
+		r, err := rt.StartResident(p, "pyaes", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const callers = 4
+		lats := make([]time.Duration, callers)
+		wg := sim.NewWaitGroup(rt.Env)
+		for i := 0; i < callers; i++ {
+			i := i
+			wg.Add(1)
+			rt.Env.Spawn("caller", func(cp *sim.Proc) {
+				defer wg.Done()
+				lat, err := r.Call(cp, workloads.Arg{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				lats[i] = lat
+			})
+		}
+		wg.Wait(p)
+		// Latencies spread by roughly one execution each.
+		exec := 19500 * time.Microsecond
+		for i := 1; i < callers; i++ {
+			gap := lats[i] - lats[i-1]
+			if gap < exec/2 || gap > 2*exec {
+				t.Errorf("caller %d queueing gap = %v, want ~%v", i, gap, exec)
+			}
+		}
+		r.Stop(p)
+	})
+}
+
+// TestResidentScaleOut: two residents on different PUs halve the makespan
+// of a request batch versus one resident.
+func TestResidentScaleOut(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if err := rt.Deploy(p, "pyaes"); err != nil {
+			t.Fatal(err)
+		}
+		batch := func(rs []*Resident, calls int) time.Duration {
+			start := p.Now()
+			wg := sim.NewWaitGroup(rt.Env)
+			for i := 0; i < calls; i++ {
+				i := i
+				wg.Add(1)
+				rt.Env.Spawn("c", func(cp *sim.Proc) {
+					defer wg.Done()
+					if _, err := rs[i%len(rs)].Call(cp, workloads.Arg{}); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+			wg.Wait(p)
+			return p.Now().Sub(start)
+		}
+		r1, err := rt.StartResident(p, "pyaes", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := batch([]*Resident{r1}, 8)
+		r2, err := rt.StartResident(p, "pyaes", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		two := batch([]*Resident{r1, r2}, 8)
+		ratio := float64(one) / float64(two)
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("scale-out speedup = %.2f, want ~2x (one=%v two=%v)", ratio, one, two)
+		}
+		r1.Stop(p)
+		r2.Stop(p)
+	})
+}
+
+func TestResidentOnDPUViaNIPC(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if err := rt.Deploy(p, "matmul", DefaultProfile(hw.CPU), DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		r, err := rt.StartResident(p, "matmul", dpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PU() != dpu {
+			t.Errorf("resident on PU %d, want DPU %d", r.PU(), dpu)
+		}
+		lat, err := r.Call(p, workloads.Arg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// DPU exec (8.8ms) + nIPC round trip; must be well under the
+		// baseline network path yet above the local-CPU latency.
+		if lat < 8*time.Millisecond || lat > 15*time.Millisecond {
+			t.Errorf("DPU resident call = %v, want ~9-10ms", lat)
+		}
+		r.Stop(p)
+	})
+}
+
+func TestStartResidentUndeployed(t *testing.T) {
+	run(t, hw.Config{}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if _, err := rt.StartResident(p, "nope", 0); err == nil {
+			t.Error("resident for undeployed function started")
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package ocicli
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+)
+
+// FuzzExecute feeds arbitrary command lines to the OCI shell; it must never
+// panic and never leave the simulation deadlocked.
+func FuzzExecute(f *testing.F) {
+	for _, seed := range []string{
+		"create a:f", "start a", "state a,b,c", "kill a 9", "delete a",
+		"create a:f,b:g lang=nodejs", "", "# comment", "create :", "kill a x",
+		"state", "start ,,,", "create a:f,a:f",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		env := sim.NewEnv()
+		m := hw.Build(env, hw.Config{})
+		sh := New(sandbox.NewContainerRuntime(localos.New(env, m.PU(0))))
+		env.Spawn("fuzz", func(p *sim.Proc) {
+			sh.Execute(p, line) // errors fine; panics are not
+		})
+		env.Run()
+	})
+}

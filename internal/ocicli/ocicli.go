@@ -1,0 +1,166 @@
+// Package ocicli exposes the vectorized sandbox abstraction through the
+// textual command interface of the paper's Table 3: the five OCI verbs
+// (state / create / start / kill / delete), each accepting either a single
+// sandbox or a vector.
+//
+// Grammar (one command per line, comma-separated vectors):
+//
+//	state  <id>[,<id>...]
+//	create <id>:<func-id>[,<id>:<func-id>...] [lang=<runtime>]
+//	start  <id>[,<id>...]
+//	kill   <id>[,<id>...] <signal>
+//	delete <id>[,<id>...]
+//
+// A shell is bound to one sandbox runtime (containers, runf, or rung) —
+// exactly how a serverless platform drives heterogeneous sandboxes without
+// knowing what is behind the interface.
+package ocicli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+)
+
+// Shell interprets Table 3 commands against one sandbox runtime.
+type Shell struct {
+	Runtime sandbox.Runtime
+	// DefaultLang applies to container creates without a lang= option.
+	DefaultLang lang.Kind
+}
+
+// New returns a shell over the runtime.
+func New(rt sandbox.Runtime) *Shell {
+	return &Shell{Runtime: rt, DefaultLang: lang.Python}
+}
+
+// Execute parses and runs one command line, returning its textual output.
+func (s *Shell) Execute(p *sim.Proc, line string) (string, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return "", nil
+	}
+	verb := fields[0]
+	args := fields[1:]
+	switch verb {
+	case "state":
+		return s.state(args)
+	case "create":
+		return s.create(p, args)
+	case "start":
+		return s.start(p, args)
+	case "kill":
+		return s.kill(p, args)
+	case "delete":
+		return s.delete(p, args)
+	default:
+		return "", fmt.Errorf("ocicli: unknown verb %q (want state/create/start/kill/delete)", verb)
+	}
+}
+
+// Script executes multiple newline-separated commands, concatenating their
+// outputs; it stops at the first error.
+func (s *Shell) Script(p *sim.Proc, script string) (string, error) {
+	var out strings.Builder
+	for ln, line := range strings.Split(script, "\n") {
+		res, err := s.Execute(p, line)
+		if err != nil {
+			return out.String(), fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if res != "" {
+			out.WriteString(res)
+			if !strings.HasSuffix(res, "\n") {
+				out.WriteString("\n")
+			}
+		}
+	}
+	return out.String(), nil
+}
+
+func splitVector(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Shell) state(args []string) (string, error) {
+	var ids []string
+	if len(args) > 0 {
+		ids = splitVector(args[0])
+	}
+	var out strings.Builder
+	for _, st := range s.Runtime.State(ids) {
+		fmt.Fprintf(&out, "%s\t%s\n", st.ID, st.State)
+	}
+	return out.String(), nil
+}
+
+func (s *Shell) create(p *sim.Proc, args []string) (string, error) {
+	if len(args) < 1 {
+		return "", fmt.Errorf("ocicli: create needs <id>:<func-id> vector")
+	}
+	lk := s.DefaultLang
+	for _, a := range args[1:] {
+		if rest, ok := strings.CutPrefix(a, "lang="); ok {
+			lk = lang.Kind(rest)
+		}
+	}
+	var specs []sandbox.Spec
+	for _, ent := range splitVector(args[0]) {
+		id, fn, ok := strings.Cut(ent, ":")
+		if !ok {
+			return "", fmt.Errorf("ocicli: create entry %q is not <id>:<func-id>", ent)
+		}
+		specs = append(specs, sandbox.Spec{ID: id, FuncID: fn, Lang: lk})
+	}
+	if err := s.Runtime.Create(p, specs); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("created %d sandbox(es)\n", len(specs)), nil
+}
+
+func (s *Shell) start(p *sim.Proc, args []string) (string, error) {
+	if len(args) < 1 {
+		return "", fmt.Errorf("ocicli: start needs an id vector")
+	}
+	ids := splitVector(args[0])
+	if err := s.Runtime.Start(p, ids); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("started %d sandbox(es)\n", len(ids)), nil
+}
+
+func (s *Shell) kill(p *sim.Proc, args []string) (string, error) {
+	if len(args) < 2 {
+		return "", fmt.Errorf("ocicli: kill needs an id vector and a signal")
+	}
+	sig, err := strconv.Atoi(args[1])
+	if err != nil {
+		return "", fmt.Errorf("ocicli: bad signal %q", args[1])
+	}
+	ids := splitVector(args[0])
+	if err := s.Runtime.Kill(p, ids, sig); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("signalled %d sandbox(es) with %d\n", len(ids), sig), nil
+}
+
+func (s *Shell) delete(p *sim.Proc, args []string) (string, error) {
+	if len(args) < 1 {
+		return "", fmt.Errorf("ocicli: delete needs an id vector")
+	}
+	ids := splitVector(args[0])
+	if err := s.Runtime.Delete(p, ids); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("deleted %d sandbox(es)\n", len(ids)), nil
+}

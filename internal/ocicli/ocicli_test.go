@@ -1,0 +1,136 @@
+package ocicli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+)
+
+func containerShell() (*sim.Env, *Shell) {
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{})
+	os := localos.New(env, m.PU(0))
+	cr := sandbox.NewContainerRuntime(os)
+	return env, New(cr)
+}
+
+func fpgaShell() (*sim.Env, *Shell, *sandbox.RunF) {
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{FPGAs: 1})
+	rf, err := sandbox.NewRunF(m, m.PUsOfKind(hw.FPGA)[0], m.PU(0))
+	if err != nil {
+		panic(err)
+	}
+	return env, New(rf), rf
+}
+
+func TestContainerLifecycleViaCLI(t *testing.T) {
+	env, sh := containerShell()
+	env.Spawn("x", func(p *sim.Proc) {
+		out, err := sh.Script(p, `
+# Table 3 OCI verbs, one-sized vectors
+create s1:helloworld
+state s1
+start s1
+state s1
+kill s1 9
+delete s1
+state s1
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"created 1", "s1\tcreated", "started 1",
+			"s1\trunning", "signalled 1", "deleted 1", "s1\tunknown"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+	env.Run()
+}
+
+func TestVectorizedCreateStartViaCLI(t *testing.T) {
+	env, sh, rf := fpgaShell()
+	env.Spawn("x", func(p *sim.Proc) {
+		out, err := sh.Script(p, `
+create a:madd,b:mmult,c:mscale
+start a,b,c
+state a,b,c
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "created 3") || !strings.Contains(out, "started 3") {
+			t.Errorf("vector verbs failed:\n%s", out)
+		}
+		if strings.Count(out, "running") != 3 {
+			t.Errorf("want 3 running sandboxes:\n%s", out)
+		}
+		// One flush for the whole vector.
+		if progs, _ := rf.Device().ProgramCounts(); progs != 1 {
+			t.Errorf("programs = %d, want 1", progs)
+		}
+	})
+	env.Run()
+}
+
+func TestCLIParseErrors(t *testing.T) {
+	env, sh := containerShell()
+	env.Spawn("x", func(p *sim.Proc) {
+		for _, bad := range []string{
+			"frobnicate x",
+			"create noformat",
+			"create",
+			"start",
+			"kill s1",
+			"kill s1 notanumber",
+			"delete",
+		} {
+			if _, err := sh.Execute(p, bad); err == nil {
+				t.Errorf("command %q accepted", bad)
+			}
+		}
+		// Blank lines and comments are no-ops.
+		if out, err := sh.Execute(p, "   "); err != nil || out != "" {
+			t.Error("blank line not a no-op")
+		}
+		if out, err := sh.Execute(p, "# comment"); err != nil || out != "" {
+			t.Error("comment not a no-op")
+		}
+	})
+	env.Run()
+}
+
+func TestCLILangOption(t *testing.T) {
+	env, sh := containerShell()
+	env.Spawn("x", func(p *sim.Proc) {
+		if _, err := sh.Execute(p, "create n1:alexa-frontend lang=nodejs"); err != nil {
+			t.Fatal(err)
+		}
+		cr := sh.Runtime.(*sandbox.ContainerRuntime)
+		if sb := cr.Sandbox("n1"); sb == nil || sb.Spec.Lang != "nodejs" {
+			t.Error("lang option not applied")
+		}
+	})
+	env.Run()
+}
+
+func TestScriptStopsAtError(t *testing.T) {
+	env, sh := containerShell()
+	env.Spawn("x", func(p *sim.Proc) {
+		_, err := sh.Script(p, "create a:f\nbogus\ncreate b:f")
+		if err == nil || !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("script error = %v, want line-2 failure", err)
+		}
+		cr := sh.Runtime.(*sandbox.ContainerRuntime)
+		if cr.Sandbox("b") != nil {
+			t.Error("script continued past the error")
+		}
+	})
+	env.Run()
+}

@@ -1,0 +1,226 @@
+package sandbox
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lang"
+	"repro/internal/localos"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// ContainerSandbox is one container-based sandbox on a CPU or DPU.
+type ContainerSandbox struct {
+	Spec  Spec
+	State State
+	Inst  *lang.Instance
+	// Forked records whether the instance was produced by cfork (affects
+	// per-request COW fault overhead, §6.6).
+	Forked bool
+
+	ns *localos.Namespace
+	cg *localos.Cgroup
+}
+
+// ContainerRuntime is the runc-style sandbox runtime for general-purpose
+// PUs, extended with container fork. It is always driven with one-sized
+// vectors, mirroring the paper's modified Docker runc.
+type ContainerRuntime struct {
+	OS *localos.OS
+
+	// UseCfork starts sandboxes by forking a language template instead of
+	// cold-booting a fresh runtime.
+	UseCfork bool
+	// CpusetMutexPatch applies the kernel cpuset patch (Fig 11a).
+	CpusetMutexPatch bool
+
+	templates map[lang.Kind]*lang.Instance
+	pool      []*preparedContainer // pre-initialized function containers
+	sandboxes map[string]*ContainerSandbox
+}
+
+type preparedContainer struct {
+	ns *localos.Namespace
+	cg *localos.Cgroup
+}
+
+// NewContainerRuntime returns a container runtime on the given OS.
+func NewContainerRuntime(os *localos.OS) *ContainerRuntime {
+	return &ContainerRuntime{
+		OS:        os,
+		templates: make(map[lang.Kind]*lang.Instance),
+		sandboxes: make(map[string]*ContainerSandbox),
+	}
+}
+
+// EnsureTemplate boots (once) the generic template container for a language
+// runtime. Molecule prepares one template per language per PU (§4.2).
+func (cr *ContainerRuntime) EnsureTemplate(p *sim.Proc, kind lang.Kind) (*lang.Instance, error) {
+	if t, ok := cr.templates[kind]; ok {
+		return t, nil
+	}
+	spec, err := lang.SpecFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	t := lang.BootCold(p, cr.OS, spec, "template-"+string(kind), true)
+	cr.templates[kind] = t
+	return t, nil
+}
+
+// Template returns the booted template for kind, or nil.
+func (cr *ContainerRuntime) Template(kind lang.Kind) *lang.Instance {
+	return cr.templates[kind]
+}
+
+// Prewarm pre-initializes n function containers off the request critical
+// path (the Fig 11a "FuncContainer" optimization).
+func (cr *ContainerRuntime) Prewarm(p *sim.Proc, n int) {
+	for i := 0; i < n; i++ {
+		p.Sleep(params.ContainerCreateTime)
+		cr.pool = append(cr.pool, &preparedContainer{
+			ns: cr.OS.NewNamespace("pool"),
+			cg: cr.OS.NewCgroup("pool", 1, 1<<28),
+		})
+	}
+}
+
+// PoolSize reports the number of prepared containers available.
+func (cr *ContainerRuntime) PoolSize() int { return len(cr.pool) }
+
+// takeContainer pops a prepared container, or creates one on the critical
+// path when the pool is empty.
+func (cr *ContainerRuntime) takeContainer(p *sim.Proc, name string) (*localos.Namespace, *localos.Cgroup, bool) {
+	if len(cr.pool) > 0 {
+		c := cr.pool[len(cr.pool)-1]
+		cr.pool = cr.pool[:len(cr.pool)-1]
+		return c.ns, c.cg, true
+	}
+	p.Sleep(params.ContainerCreateTime)
+	return cr.OS.NewNamespace(name), cr.OS.NewCgroup(name, 1, 1<<28), false
+}
+
+// Create implements Runtime. For containers, creation records the sandbox
+// and reserves its function container (from the prepared pool when
+// available).
+func (cr *ContainerRuntime) Create(p *sim.Proc, specs []Spec) error {
+	for _, spec := range specs {
+		if _, exists := cr.sandboxes[spec.ID]; exists {
+			return fmt.Errorf("sandbox: container %q already exists", spec.ID)
+		}
+		if spec.Lang == "" {
+			return fmt.Errorf("sandbox: container %q has no language runtime", spec.ID)
+		}
+		ns, cg, _ := cr.takeContainer(p, "fc-"+spec.ID)
+		cr.sandboxes[spec.ID] = &ContainerSandbox{
+			Spec: spec, State: StateCreated, ns: ns, cg: cg,
+		}
+	}
+	return nil
+}
+
+// Start implements Runtime: boot (or cfork) the function instance in each
+// sandbox.
+func (cr *ContainerRuntime) Start(p *sim.Proc, ids []string) error {
+	for _, id := range ids {
+		sb, ok := cr.sandboxes[id]
+		if !ok {
+			return fmt.Errorf("sandbox: no container %q", id)
+		}
+		if sb.State != StateCreated {
+			return fmt.Errorf("sandbox: container %q is %v, want created", id, sb.State)
+		}
+		spec, err := lang.SpecFor(sb.Spec.Lang)
+		if err != nil {
+			return err
+		}
+		if cr.UseCfork {
+			tmpl, err := cr.EnsureTemplate(p, sb.Spec.Lang)
+			if err != nil {
+				return err
+			}
+			inst, err := lang.Cfork(p, tmpl, sb.Spec.FuncID, lang.CforkOptions{
+				PreparedContainer: true,
+				CpusetMutexPatch:  cr.CpusetMutexPatch,
+				Namespace:         sb.ns,
+				Cgroup:            sb.cg,
+			})
+			if err != nil {
+				return err
+			}
+			sb.Inst, sb.Forked = inst, true
+		} else {
+			inst := lang.BootCold(p, cr.OS, spec, "fn-"+sb.Spec.FuncID, false)
+			inst.Proc.NS, inst.Proc.CG = sb.ns, sb.cg
+			inst.LoadFunction(p, sb.Spec.FuncID)
+			sb.Inst, sb.Forked = inst, false
+		}
+		sb.State = StateRunning
+	}
+	return nil
+}
+
+// Kill implements Runtime.
+func (cr *ContainerRuntime) Kill(p *sim.Proc, ids []string, sig int) error {
+	for _, id := range ids {
+		sb, ok := cr.sandboxes[id]
+		if !ok {
+			return fmt.Errorf("sandbox: no container %q", id)
+		}
+		if sb.State == StateRunning {
+			sb.State = StateStopped
+		}
+	}
+	return nil
+}
+
+// Delete implements Runtime: tear down the instance and release resources.
+// Unlike runf, containers must be deleted explicitly to reclaim memory and
+// cgroup resources (§3.5).
+func (cr *ContainerRuntime) Delete(p *sim.Proc, ids []string) error {
+	for _, id := range ids {
+		sb, ok := cr.sandboxes[id]
+		if !ok {
+			return fmt.Errorf("sandbox: no container %q", id)
+		}
+		if sb.Inst != nil {
+			sb.Inst.Exit()
+		}
+		sb.State = StateDeleted
+		delete(cr.sandboxes, id)
+	}
+	return nil
+}
+
+// State implements Runtime.
+func (cr *ContainerRuntime) State(ids []string) []Status {
+	if ids == nil {
+		for id := range cr.sandboxes {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids) // deterministic order for nil queries
+	}
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		st := StateUnknown
+		if sb, ok := cr.sandboxes[id]; ok {
+			st = sb.State
+		}
+		out = append(out, Status{ID: id, State: st})
+	}
+	return out
+}
+
+// Sandbox returns the container sandbox with the given ID, or nil.
+func (cr *ContainerRuntime) Sandbox(id string) *ContainerSandbox {
+	return cr.sandboxes[id]
+}
+
+// Adopt registers an externally created sandbox (e.g. a snapshot-restored
+// instance) so the standard lifecycle verbs apply to it.
+func (cr *ContainerRuntime) Adopt(id string, sb *ContainerSandbox) {
+	cr.sandboxes[id] = sb
+}
+
+var _ Runtime = (*ContainerRuntime)(nil)

@@ -1,0 +1,42 @@
+package sandbox_test
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sandbox"
+	"repro/internal/sim"
+)
+
+// The vectorized create packs three FPGA functions into one image with a
+// single flush; delete is free because the next create replaces the
+// configuration anyway (Table 3).
+func ExampleRunF() {
+	env := sim.NewEnv()
+	machine := hw.Build(env, hw.Config{FPGAs: 1})
+	rf, err := sandbox.NewRunF(machine, machine.PUsOfKind(hw.FPGA)[0], machine.PU(0))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	env.Spawn("runtime", func(p *sim.Proc) {
+		rf.Create(p, []sandbox.Spec{
+			{ID: "a", FuncID: "madd"},
+			{ID: "b", FuncID: "mmult"},
+			{ID: "c", FuncID: "mscale"},
+		})
+		rf.Start(p, []string{"a", "b", "c"})
+		programs, _ := rf.Device().ProgramCounts()
+		fmt.Printf("3 sandboxes running after %d flush(es), at t=%v\n", programs, p.Now())
+
+		before := p.Now()
+		rf.Delete(p, []string{"b"})
+		fmt.Printf("delete took %v; mmult still on fabric: %v\n",
+			p.Now().Sub(before), rf.Cached("mmult"))
+	})
+	env.Run()
+	// Output:
+	// 3 sandboxes running after 1 flush(es), at t=3.8s
+	// delete took 0s; mmult still on fabric: true
+}

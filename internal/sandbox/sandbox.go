@@ -1,0 +1,112 @@
+// Package sandbox implements the paper's second key abstraction: the
+// vectorized sandbox (§3.5, Table 3).
+//
+// The classic OCI runtime interface has five verbs — state, create, start,
+// kill, delete — each operating on one sandbox. The vectorized extension
+// makes every verb accept a vector, which is what lets domain-specific
+// accelerators participate: an FPGA can only hold one image at a time, so
+// runf packs a *vector* of instances into one image, making cache hits (and
+// therefore warm starts) possible, and deletes become free because the next
+// create replaces the hardware configuration anyway.
+//
+// Three runtimes implement the abstraction:
+//
+//   - ContainerRuntime — runc-style containers for CPU and DPU functions,
+//     extended with cfork (always passed one-sized vectors, like the paper's
+//     modified runc);
+//   - RunF — FPGA functions over the hw.FPGADevice model;
+//   - RunG — GPU kernels (the §6.8 generality demonstration).
+package sandbox
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+// State is a sandbox lifecycle state.
+type State int
+
+const (
+	StateUnknown State = iota
+	StateCreated
+	StateRunning
+	StateStopped
+	StateDeleted
+)
+
+var stateNames = map[State]string{
+	StateUnknown: "unknown", StateCreated: "created", StateRunning: "running",
+	StateStopped: "stopped", StateDeleted: "deleted",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Spec describes one sandbox to create: the vectorized create verb takes a
+// vector of these (Table 3: create vector<sandbox, func-id>).
+type Spec struct {
+	ID     string
+	FuncID string
+	// Lang selects the language runtime for container sandboxes.
+	Lang lang.Kind
+}
+
+// Status pairs a sandbox ID with its state (Table 3: state vector<...>).
+type Status struct {
+	ID    string
+	State State
+}
+
+// Runtime is the vectorized sandbox abstraction. Every PU-specific sandbox
+// runtime implements exactly this interface, which is all a serverless
+// runtime needs to manage heterogeneous functions without knowing the
+// underlying hardware or software (§3.5).
+type Runtime interface {
+	// Create instantiates a vector of sandboxes in one operation.
+	Create(p *sim.Proc, specs []Spec) error
+	// Start runs a vector of created sandboxes concurrently.
+	Start(p *sim.Proc, ids []string) error
+	// Kill delivers a signal to a vector of sandboxes.
+	Kill(p *sim.Proc, ids []string, sig int) error
+	// Delete removes a vector of sandboxes.
+	Delete(p *sim.Proc, ids []string) error
+	// State queries a vector of sandboxes (pass nil for all).
+	State(ids []string) []Status
+}
+
+// CreateOne adapts the single-sandbox OCI verb onto the vectorized
+// interface by passing a one-sized vector (exactly how the paper adapts
+// Docker runc, §5).
+func CreateOne(p *sim.Proc, r Runtime, spec Spec) error {
+	return r.Create(p, []Spec{spec})
+}
+
+// StartOne starts a single sandbox.
+func StartOne(p *sim.Proc, r Runtime, id string) error {
+	return r.Start(p, []string{id})
+}
+
+// KillOne signals a single sandbox.
+func KillOne(p *sim.Proc, r Runtime, id string, sig int) error {
+	return r.Kill(p, []string{id}, sig)
+}
+
+// DeleteOne deletes a single sandbox.
+func DeleteOne(p *sim.Proc, r Runtime, id string) error {
+	return r.Delete(p, []string{id})
+}
+
+// StateOne queries a single sandbox's status.
+func StateOne(r Runtime, id string) Status {
+	sts := r.State([]string{id})
+	if len(sts) == 0 {
+		return Status{ID: id, State: StateUnknown}
+	}
+	return sts[0]
+}

@@ -1,0 +1,326 @@
+package sim
+
+// Chan is a simulated channel carrying values of type T between processes.
+// A capacity of zero gives rendezvous semantics; a positive capacity buffers
+// up to cap values. Closed channels deliver the zero value with ok=false to
+// receivers, like native Go channels.
+type Chan[T any] struct {
+	env    *Env
+	buf    []T
+	cap    int
+	sendq  []*sendWaiter[T]
+	recvq  []*recvWaiter[T]
+	closed bool
+}
+
+type sendWaiter[T any] struct {
+	p   *Proc
+	val T
+}
+
+type recvWaiter[T any] struct {
+	p *Proc
+}
+
+type recvResult[T any] struct {
+	val T
+	ok  bool
+}
+
+// NewChan returns a simulated channel with the given buffer capacity.
+func NewChan[T any](env *Env, capacity int) *Chan[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Chan[T]{env: env, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap reports the channel capacity.
+func (c *Chan[T]) Cap() int { return c.cap }
+
+// Closed reports whether the channel has been closed.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Close closes the channel. Parked receivers are woken with ok=false.
+// Sending on a closed channel panics, as with native channels.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	waiters := c.recvq
+	c.recvq = nil
+	for _, w := range waiters {
+		w := w
+		c.env.schedule(c.env.now, func() {
+			var zero T
+			c.env.resume(w.p, resumeMsg{val: recvResult[T]{val: zero, ok: false}})
+		})
+	}
+}
+
+// Send delivers v on the channel, parking p until a receiver or buffer slot
+// is available.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if c.closed {
+		panic("sim: send on closed channel")
+	}
+	// A waiting receiver takes the value directly.
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		c.env.schedule(c.env.now, func() {
+			c.env.resume(w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
+		})
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	// Block until a receiver drains us.
+	c.sendq = append(c.sendq, &sendWaiter[T]{p: p, val: v})
+	p.park()
+}
+
+// TrySend delivers v without blocking; it reports whether the value was
+// accepted (by a waiting receiver or a free buffer slot).
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		panic("sim: send on closed channel")
+	}
+	if len(c.recvq) > 0 {
+		w := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		c.env.schedule(c.env.now, func() {
+			c.env.resume(w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
+		})
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv receives a value, parking p until one is available. ok is false when
+// the channel is closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	if v, ok, got := c.tryRecvLocked(); got {
+		return v, ok
+	}
+	c.recvq = append(c.recvq, &recvWaiter[T]{p: p})
+	msg := p.park()
+	res := msg.val.(recvResult[T])
+	return res.val, res.ok
+}
+
+// TryRecv receives without blocking. got reports whether a value (or a
+// closed-channel signal) was available.
+func (c *Chan[T]) TryRecv() (v T, ok, got bool) {
+	return c.tryRecvLocked()
+}
+
+func (c *Chan[T]) tryRecvLocked() (v T, ok, got bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		// Promote a blocked sender's value into the freed slot.
+		if len(c.sendq) > 0 {
+			w := c.sendq[0]
+			c.sendq = c.sendq[1:]
+			c.buf = append(c.buf, w.val)
+			c.env.schedule(c.env.now, func() { c.env.resume(w.p, resumeMsg{}) })
+		}
+		return v, true, true
+	}
+	if len(c.sendq) > 0 { // unbuffered rendezvous
+		w := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.env.schedule(c.env.now, func() { c.env.resume(w.p, resumeMsg{}) })
+		return w.val, true, true
+	}
+	if c.closed {
+		var zero T
+		return zero, false, true
+	}
+	return v, false, false
+}
+
+// Event is a one-shot broadcast: processes Wait until someone Triggers it,
+// after which Wait returns immediately. The payload set at Trigger is
+// delivered to every waiter.
+type Event struct {
+	env       *Env
+	triggered bool
+	payload   any
+	waiters   []*Proc
+}
+
+// NewEvent returns an untriggered event.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Triggered reports whether Trigger has been called.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Payload returns the value passed to Trigger (nil before triggering).
+func (ev *Event) Payload() any { return ev.payload }
+
+// Trigger fires the event, waking all waiters. Triggering twice is a no-op.
+func (ev *Event) Trigger(payload any) {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	ev.payload = payload
+	waiters := ev.waiters
+	ev.waiters = nil
+	for _, p := range waiters {
+		p := p
+		ev.env.schedule(ev.env.now, func() {
+			ev.env.resume(p, resumeMsg{val: ev.payload})
+		})
+	}
+}
+
+// Wait parks p until the event triggers, returning the trigger payload.
+func (ev *Event) Wait(p *Proc) any {
+	if ev.triggered {
+		return ev.payload
+	}
+	ev.waiters = append(ev.waiters, p)
+	msg := p.park()
+	return msg.val
+}
+
+// Resource is a counting semaphore over virtual time: Acquire parks the
+// caller until a unit is free. Units are granted in FIFO order.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waitq    []*Proc
+}
+
+// NewResource returns a resource with the given capacity (minimum 1).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// Capacity reports the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse reports the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire obtains one unit, parking p until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waitq = append(r.waitq, p)
+	p.park()
+}
+
+// TryAcquire obtains a unit without blocking; it reports success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waitq) > 0 {
+		p := r.waitq[0]
+		r.waitq = r.waitq[1:]
+		r.env.schedule(r.env.now, func() { r.env.resume(p, resumeMsg{}) })
+		return
+	}
+	if r.inUse > 0 {
+		r.inUse--
+	}
+}
+
+// WaitGroup counts outstanding tasks in virtual time; Wait parks until the
+// count reaches zero.
+type WaitGroup struct {
+	env     *Env
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a wait group with count zero.
+func NewWaitGroup(env *Env) *WaitGroup { return &WaitGroup{env: env} }
+
+// Add adds delta to the count. The count must not go negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		waiters := wg.waiters
+		wg.waiters = nil
+		for _, p := range waiters {
+			p := p
+			wg.env.schedule(wg.env.now, func() { wg.env.resume(p, resumeMsg{}) })
+		}
+	}
+}
+
+// Done decrements the count by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count reports the current count.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait parks p until the count is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}
+
+// WaitAny parks p until any of the given events triggers, returning the
+// index of the first event (and its payload). Already-triggered events win
+// immediately, lowest index first.
+func WaitAny(p *Proc, events ...*Event) (int, any) {
+	if len(events) == 0 {
+		panic("sim: WaitAny with no events")
+	}
+	for i, ev := range events {
+		if ev.Triggered() {
+			return i, ev.Payload()
+		}
+	}
+	// Arm a relay process on every event; the first to fire wins. Each
+	// relay exits when its own event eventually triggers (an event that
+	// never triggers keeps its relay parked, like any abandoned waiter).
+	winner := NewEvent(events[0].env)
+	type hit struct {
+		idx     int
+		payload any
+	}
+	for i, ev := range events {
+		i, ev := i, ev
+		ev.env.Spawn("waitany-relay", func(rp *Proc) {
+			payload := ev.Wait(rp)
+			winner.Trigger(hit{idx: i, payload: payload})
+		})
+	}
+	h := winner.Wait(p).(hit)
+	return h.idx, h.payload
+}

@@ -1,0 +1,285 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Every component of the Molecule reproduction — operating systems, XPU-Shim
+// nodes, sandboxes, function instances — runs as a simulation process
+// (a goroutine coordinated by an Env) that blocks on simulated primitives
+// (Sleep, channel operations, resources) instead of real time. Exactly one
+// process runs at any instant; the kernel hands control between the scheduler
+// and processes over unbuffered channels, so event ordering is deterministic:
+// events fire in (time, sequence-number) order.
+//
+// The virtual clock is a Time in nanoseconds. A complete benchmark run that
+// models minutes of system activity executes in milliseconds of wall time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration re-exports time.Duration for virtual delays; virtual durations use
+// the same unit (nanoseconds) as wall-clock durations for readability.
+type Duration = time.Duration
+
+// After returns the time d after t.
+func (t Time) After(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled occurrence: at time t, fn runs in scheduler context.
+// fn typically resumes a parked process.
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (x any) {
+	old := *h
+	n := len(old)
+	x = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+func (h eventHeap) peek() *event       { return h[0] }
+func (h *eventHeap) pushEv(ev *event)  { heap.Push(h, ev) }
+func (h *eventHeap) popEv() (e *event) { return heap.Pop(h).(*event) }
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, spawn processes with Spawn, and drive it with Run.
+// Env methods must be called either before Run or from within a running
+// process; Env is not safe for concurrent use from unrelated goroutines.
+type Env struct {
+	now     Time
+	seq     int64
+	events  eventHeap
+	parkCh  chan struct{} // process → scheduler: "I have parked or exited"
+	running *Proc         // the process currently executing, if any
+	nprocs  int           // live (spawned, not yet exited) processes
+	stopped bool
+	limit   Time // run-until horizon; 0 means none
+
+	tracing bool
+	trace   []TraceEvent
+	spawned []*Proc
+}
+
+// NewEnv returns an empty environment at time 0.
+func NewEnv() *Env {
+	return &Env{parkCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues fn to run at time t (>= now) in scheduler context.
+func (e *Env) schedule(t Time, fn func()) *event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.events.pushEv(ev)
+	return ev
+}
+
+// At schedules fn to run at the given virtual time. fn runs in scheduler
+// context: it must not block on simulation primitives, but it may spawn
+// processes or trigger events.
+func (e *Env) At(t Time, fn func()) { e.schedule(t, fn) }
+
+// AfterFunc schedules fn to run d after the current time.
+func (e *Env) AfterFunc(d Duration, fn func()) { e.schedule(e.now.After(d), fn) }
+
+// Stop halts the simulation after the currently firing event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Proc is a simulation process. A Proc's body runs on its own goroutine but
+// executes only while the scheduler has handed it control; calling a blocking
+// method (Sleep, channel Recv, ...) parks the body and returns control.
+type Proc struct {
+	env      *Env
+	name     string
+	resumeCh chan resumeMsg
+	exited   bool
+}
+
+type resumeMsg struct {
+	interrupted bool
+	val         any
+}
+
+// Interrupted is the panic value delivered to a process that is interrupted
+// while parked. Process bodies normally let it propagate; the kernel recovers
+// it and terminates the process cleanly.
+type Interrupted struct{ Proc string }
+
+func (i Interrupted) Error() string { return "sim: process " + i.Proc + " interrupted" }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a process named name whose body is fn and schedules it to
+// start at the current virtual time. It returns immediately.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAfter(0, name, fn)
+}
+
+// SpawnAfter is Spawn with a start delay of d.
+func (e *Env) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resumeCh: make(chan resumeMsg)}
+	e.nprocs++
+	e.spawned = append(e.spawned, p)
+	go func() {
+		msg := <-p.resumeCh // wait for the start event
+		defer func() {
+			p.exited = true
+			e.nprocs--
+			if r := recover(); r != nil {
+				if _, ok := r.(Interrupted); ok {
+					e.parkCh <- struct{}{}
+					return
+				}
+				// Re-panicking here would crash a bare goroutine with a
+				// useless trace; surface the original value instead.
+				panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+			}
+			e.parkCh <- struct{}{}
+		}()
+		if msg.interrupted {
+			return // interrupted before first run
+		}
+		fn(p)
+	}()
+	e.schedule(e.now.After(d), func() { e.resume(p, resumeMsg{}) })
+	return p
+}
+
+// resume hands control to p and blocks until p parks again or exits.
+func (e *Env) resume(p *Proc, msg resumeMsg) {
+	if p.exited {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.resumeCh <- msg
+	<-e.parkCh
+	e.running = prev
+}
+
+// park yields control back to the scheduler and blocks until resumed.
+func (p *Proc) park() resumeMsg {
+	p.env.parkCh <- struct{}{}
+	msg := <-p.resumeCh
+	if msg.interrupted {
+		panic(Interrupted{Proc: p.name})
+	}
+	return msg
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	env := p.env
+	env.schedule(env.now.After(d), func() { env.resume(p, resumeMsg{}) })
+	p.park()
+}
+
+// Yield parks the process and reschedules it at the same virtual time, after
+// all events already queued for this instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Interrupt wakes a parked process by panicking Interrupted inside it. It is
+// the simulation analogue of killing a blocked process. Interrupting a
+// process that is not parked (or already exited) is a no-op.
+func (p *Proc) Interrupt() {
+	if p.exited {
+		return
+	}
+	env := p.env
+	env.schedule(env.now, func() {
+		if !p.exited {
+			env.resume(p, resumeMsg{interrupted: true})
+		}
+	})
+}
+
+// Run drives the simulation until no events remain or Stop is called.
+// It returns the final virtual time.
+func (e *Env) Run() Time {
+	e.limit = 0
+	return e.loop()
+}
+
+// RunUntil drives the simulation until virtual time t; events scheduled
+// later than t remain queued. It returns the final virtual time (<= t).
+func (e *Env) RunUntil(t Time) Time {
+	e.limit = t
+	defer func() { e.limit = 0 }()
+	return e.loop()
+}
+
+func (e *Env) loop() Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.limit > 0 && e.events.peek().t > e.limit {
+			e.now = e.limit
+			break
+		}
+		ev := e.events.popEv()
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// LiveProcs reports the number of spawned processes that have not exited.
+// After Run returns, a nonzero value means processes are blocked forever
+// (deadlocked on channels or resources).
+func (e *Env) LiveProcs() int { return e.nprocs }
+
+// BlockedProcs returns the names of processes that were spawned and have
+// not exited — after Run returns, these are parked forever. For diagnosing
+// deadlocks in tests.
+func (e *Env) BlockedProcs() []string {
+	var out []string
+	for _, p := range e.spawned {
+		if !p.exited {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("p", func(p *Proc) {
+		p.Tracef("hello")
+	})
+	env.Run()
+	if len(env.TraceLog()) != 0 {
+		t.Error("events recorded while tracing disabled")
+	}
+	if env.Tracing() {
+		t.Error("tracing reported enabled")
+	}
+}
+
+func TestTraceRecordsInOrder(t *testing.T) {
+	env := NewEnv()
+	env.EnableTrace()
+	env.Spawn("a", func(p *Proc) {
+		p.Tracef("start")
+		p.Sleep(5 * time.Millisecond)
+		p.Tracef("woke at %v", p.Now())
+	})
+	env.Spawn("b", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		p.Tracef("b ran")
+	})
+	env.Run()
+	log := env.TraceLog()
+	if len(log) != 3 {
+		t.Fatalf("events = %d, want 3", len(log))
+	}
+	if log[0].Proc != "a" || log[1].Proc != "b" || log[2].Proc != "a" {
+		t.Errorf("event attribution wrong: %v", log)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].T < log[i-1].T {
+			t.Error("trace not time-ordered")
+		}
+	}
+	if !strings.Contains(log[2].Event, "woke at 5ms") {
+		t.Errorf("formatting broken: %q", log[2].Event)
+	}
+}
+
+func TestTraceSchedulerContext(t *testing.T) {
+	env := NewEnv()
+	env.EnableTrace()
+	env.At(Time(time.Millisecond), func() { env.Tracef("timer fired") })
+	env.Run()
+	log := env.TraceLog()
+	if len(log) != 1 || log[0].Proc != "" {
+		t.Errorf("scheduler-context event wrong: %v", log)
+	}
+}
+
+func TestTraceDumpAndClear(t *testing.T) {
+	env := NewEnv()
+	env.EnableTrace()
+	env.Spawn("p", func(p *Proc) { p.Tracef("one") })
+	env.Run()
+	var buf bytes.Buffer
+	env.DumpTrace(&buf)
+	if !strings.Contains(buf.String(), "one") {
+		t.Errorf("dump missing event: %q", buf.String())
+	}
+	env.ClearTrace()
+	if len(env.TraceLog()) != 0 {
+		t.Error("clear did not drop events")
+	}
+	env.DisableTrace()
+	if env.Tracing() {
+		t.Error("disable did not stick")
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	ev := TraceEvent{T: Time(time.Millisecond), Proc: "worker", Event: "did a thing"}
+	s := ev.String()
+	if !strings.Contains(s, "worker") || !strings.Contains(s, "did a thing") {
+		t.Errorf("String = %q", s)
+	}
+}

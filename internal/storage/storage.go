@@ -1,0 +1,130 @@
+// Package storage models the object storage service serverless applications
+// pull their inputs from (§4.1: "a frontend function (on DPU) to pull an
+// image from storage services, and then transfer the image to an FPGA
+// function gzip to compress the image").
+//
+// The store itself runs as a service on one general-purpose PU; accesses
+// from functions on other PUs pay the interconnect (or network) cost for
+// metadata plus a bandwidth-dominated payload transfer. Objects carry real
+// bytes, so example pipelines operate on genuine data.
+package storage
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Object is one stored blob.
+type Object struct {
+	Key  string
+	Data []byte
+	// Size overrides len(Data) for cost purposes, letting large objects be
+	// modeled without materializing bytes.
+	Size int
+}
+
+func (o Object) size() int {
+	if o.Size > 0 {
+		return o.Size
+	}
+	return len(o.Data)
+}
+
+// Service latency constants: metadata lookup plus media throughput (NVMe
+// array class).
+const (
+	lookupLatency  = 180 * time.Microsecond
+	mediaBandwidth = 4e9 // bytes/sec
+)
+
+// Store is an object store hosted on one PU of the machine.
+type Store struct {
+	Machine *hw.Machine
+	Home    hw.PUID
+
+	objects map[string]Object
+	// media serializes access to the backing media.
+	media *sim.Resource
+
+	gets, puts int
+}
+
+// New creates a store hosted on the given PU.
+func New(env *sim.Env, m *hw.Machine, home hw.PUID) *Store {
+	return &Store{
+		Machine: m,
+		Home:    home,
+		objects: make(map[string]Object),
+		media:   sim.NewResource(env, 2),
+	}
+}
+
+// Stats reports lifetime (gets, puts).
+func (s *Store) Stats() (gets, puts int) { return s.gets, s.puts }
+
+// mediaTime is the backing-media time for n bytes.
+func mediaTime(n int) time.Duration {
+	return time.Duration(float64(n) / mediaBandwidth * float64(time.Second))
+}
+
+// Put stores an object from a client on PU `from`, charging the transfer to
+// the store's PU plus media write time.
+func (s *Store) Put(p *sim.Proc, from hw.PUID, obj Object) error {
+	if obj.Key == "" {
+		return fmt.Errorf("storage: empty key")
+	}
+	p.Sleep(lookupLatency)
+	if from != s.Home {
+		if _, err := s.Machine.Transfer(p, from, s.Home, obj.size()); err != nil {
+			return err
+		}
+	}
+	s.media.Acquire(p)
+	p.Sleep(mediaTime(obj.size()))
+	s.media.Release()
+	s.objects[obj.Key] = obj
+	s.puts++
+	return nil
+}
+
+// Get fetches an object to a client on PU `to`, charging media read time
+// plus the transfer from the store's PU.
+func (s *Store) Get(p *sim.Proc, to hw.PUID, key string) (Object, error) {
+	p.Sleep(lookupLatency)
+	obj, ok := s.objects[key]
+	if !ok {
+		return Object{}, fmt.Errorf("storage: no object %q", key)
+	}
+	s.media.Acquire(p)
+	p.Sleep(mediaTime(obj.size()))
+	s.media.Release()
+	if to != s.Home {
+		if _, err := s.Machine.Transfer(p, s.Home, to, obj.size()); err != nil {
+			return Object{}, err
+		}
+	}
+	s.gets++
+	return obj, nil
+}
+
+// Delete removes an object.
+func (s *Store) Delete(p *sim.Proc, key string) error {
+	p.Sleep(lookupLatency)
+	if _, ok := s.objects[key]; !ok {
+		return fmt.Errorf("storage: no object %q", key)
+	}
+	delete(s.objects, key)
+	return nil
+}
+
+// List returns the stored keys (no cost model; control-plane call).
+func (s *Store) List() []string {
+	out := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func rig() (*sim.Env, *hw.Machine, *Store) {
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{DPUs: 1})
+	return env, m, New(env, m, 0)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	env, _, s := rig()
+	env.Spawn("x", func(p *sim.Proc) {
+		if err := s.Put(p, 0, Object{Key: "img", Data: []byte("pixels")}); err != nil {
+			t.Fatal(err)
+		}
+		obj, err := s.Get(p, 0, "img")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(obj.Data) != "pixels" {
+			t.Errorf("data = %q", obj.Data)
+		}
+		gets, puts := s.Stats()
+		if gets != 1 || puts != 1 {
+			t.Errorf("stats = %d/%d", gets, puts)
+		}
+	})
+	env.Run()
+}
+
+func TestErrors(t *testing.T) {
+	env, _, s := rig()
+	env.Spawn("x", func(p *sim.Proc) {
+		if err := s.Put(p, 0, Object{}); err == nil {
+			t.Error("empty key accepted")
+		}
+		if _, err := s.Get(p, 0, "missing"); err == nil {
+			t.Error("missing object fetched")
+		}
+		if err := s.Delete(p, "missing"); err == nil {
+			t.Error("missing object deleted")
+		}
+		s.Put(p, 0, Object{Key: "k", Size: 10})
+		if err := s.Delete(p, "k"); err != nil {
+			t.Error(err)
+		}
+		if len(s.List()) != 0 {
+			t.Error("delete left the object listed")
+		}
+	})
+	env.Run()
+}
+
+func TestRemoteAccessCostsMore(t *testing.T) {
+	env, m, s := rig()
+	dpu := m.PUsOfKind(hw.DPU)[0].ID
+	var local, remote time.Duration
+	env.Spawn("x", func(p *sim.Proc) {
+		s.Put(p, 0, Object{Key: "big", Size: 8 << 20})
+		start := p.Now()
+		s.Get(p, 0, "big")
+		local = p.Now().Sub(start)
+		start = p.Now()
+		s.Get(p, dpu, "big")
+		remote = p.Now().Sub(start)
+	})
+	env.Run()
+	if remote <= local {
+		t.Errorf("remote get (%v) not slower than local (%v)", remote, local)
+	}
+	// The difference is the RDMA transfer of 8MB.
+	l, _ := m.LinkBetween(0, dpu)
+	want := l.TransferTime(8 << 20)
+	if diff := remote - local; diff != want {
+		t.Errorf("remote extra = %v, want link transfer %v", diff, want)
+	}
+}
+
+func TestSizeOverride(t *testing.T) {
+	env, _, s := rig()
+	var big, small time.Duration
+	env.Spawn("x", func(p *sim.Proc) {
+		s.Put(p, 0, Object{Key: "meta", Size: 112 << 20}) // modeled, no bytes
+		s.Put(p, 0, Object{Key: "tiny", Data: []byte{1}})
+		start := p.Now()
+		s.Get(p, 0, "meta")
+		big = p.Now().Sub(start)
+		start = p.Now()
+		s.Get(p, 0, "tiny")
+		small = p.Now().Sub(start)
+	})
+	env.Run()
+	if big <= small {
+		t.Errorf("112MB get (%v) not slower than 1B get (%v)", big, small)
+	}
+}
+
+func TestMediaContention(t *testing.T) {
+	env, _, s := rig()
+	const size = 40 << 20 // 10ms media time each
+	finishes := make([]sim.Time, 3)
+	env.Spawn("seed", func(p *sim.Proc) {
+		s.Put(p, 0, Object{Key: "o", Size: size})
+		for i := 0; i < 3; i++ {
+			i := i
+			p.Env().Spawn("get", func(gp *sim.Proc) {
+				if _, err := s.Get(gp, 0, "o"); err != nil {
+					t.Error(err)
+				}
+				finishes[i] = gp.Now()
+			})
+		}
+	})
+	env.Run()
+	// Media capacity 2: the third get waits for a slot.
+	if !(finishes[2] > finishes[0]) {
+		t.Errorf("media contention absent: finishes %v", finishes)
+	}
+}

@@ -1,0 +1,349 @@
+package workloads
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The compute bodies below are real implementations of the benchmark
+// kernels, used by the runnable examples so their outputs are genuine.
+// They execute on the host running the simulation; their latency in the
+// simulated system comes from the calibrated cost models, not wall time.
+
+func bodyHello(Arg) (any, error) { return "hello, heterogeneous world", nil }
+
+// bodyGzip compresses the payload (or a synthetic one of a.Bytes) and
+// reports the compression ratio.
+func bodyGzip(a Arg) (any, error) {
+	data := a.Payload
+	if data == nil {
+		n := a.Bytes
+		if n == 0 {
+			n = 1 << 16
+		}
+		data = synthetic(n)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("compressed %d -> %d bytes", len(data), buf.Len()), nil
+}
+
+// bodyAES encrypts the payload with AES-CTR, FunctionBench's pyaes stand-in.
+func bodyAES(a Arg) (any, error) {
+	data := a.Payload
+	if data == nil {
+		data = synthetic(4 << 10)
+	}
+	key := []byte("0123456789abcdef")
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, aes.BlockSize)
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv).XORKeyStream(out, data)
+	return fmt.Sprintf("encrypted %d bytes", len(out)), nil
+}
+
+// bodyMatmul multiplies two n×n matrices and returns the trace of the
+// product.
+func bodyMatmul(a Arg) (any, error) {
+	n := a.N
+	if n == 0 {
+		n = 64
+	}
+	A, B := seqMatrix(n, 1), seqMatrix(n, 2)
+	C := matMul(A, B, n)
+	return trace(C, n), nil
+}
+
+// bodyLinpack solves a dense linear system by Gaussian elimination and
+// reports the residual-free solution checksum.
+func bodyLinpack(a Arg) (any, error) {
+	n := a.N
+	if n == 0 {
+		n = 64
+	}
+	A := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+		for j := range A[i] {
+			A[i][j] = 1.0 / float64(i+j+1)
+		}
+		A[i][i] += float64(n)
+		b[i] = 1
+	}
+	// Gaussian elimination with partial pivoting.
+	for k := 0; k < n; k++ {
+		piv := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(A[i][k]) > math.Abs(A[piv][k]) {
+				piv = i
+			}
+		}
+		A[k], A[piv] = A[piv], A[k]
+		b[k], b[piv] = b[piv], b[k]
+		if A[k][k] == 0 {
+			return nil, fmt.Errorf("workloads: singular linpack matrix")
+		}
+		for i := k + 1; i < n; i++ {
+			f := A[i][k] / A[k][k]
+			for j := k; j < n; j++ {
+				A[i][j] -= f * A[k][j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= A[i][j] * x[j]
+		}
+		x[i] = s / A[i][i]
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum, nil
+}
+
+// bodyImageResize box-downsamples a synthetic grayscale image by 2x.
+func bodyImageResize(a Arg) (any, error) {
+	w := a.N
+	if w == 0 {
+		w = 256
+	}
+	img := make([]byte, w*w)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	ow := w / 2
+	out := make([]byte, ow*ow)
+	for y := 0; y < ow; y++ {
+		for x := 0; x < ow; x++ {
+			s := int(img[2*y*w+2*x]) + int(img[2*y*w+2*x+1]) +
+				int(img[(2*y+1)*w+2*x]) + int(img[(2*y+1)*w+2*x+1])
+			out[y*ow+x] = byte(s / 4)
+		}
+	}
+	return fmt.Sprintf("resized %dx%d -> %dx%d", w, w, ow, ow), nil
+}
+
+// bodyChameleon renders a small HTML table, like FunctionBench's chameleon
+// template benchmark.
+func bodyChameleon(a Arg) (any, error) {
+	rows := a.N
+	if rows == 0 {
+		rows = 50
+	}
+	var buf bytes.Buffer
+	buf.WriteString("<table>")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&buf, "<tr><td>%d</td><td>%d</td></tr>", i, i*i)
+	}
+	buf.WriteString("</table>")
+	return buf.Len(), nil
+}
+
+// bodyMScale scales a matrix by a constant.
+func bodyMScale(a Arg) (any, error) {
+	n := dim(a, 64)
+	A := seqMatrix(n, 1)
+	for i := range A {
+		A[i] *= 2.5
+	}
+	return trace(A, n), nil
+}
+
+// bodyMAdd adds two matrices.
+func bodyMAdd(a Arg) (any, error) {
+	n := dim(a, 64)
+	A, B := seqMatrix(n, 1), seqMatrix(n, 2)
+	for i := range A {
+		A[i] += B[i]
+	}
+	return trace(A, n), nil
+}
+
+// bodyVMult multiplies two matrices (the paper's "vector multiplication"
+// matrix kernel).
+func bodyVMult(a Arg) (any, error) {
+	n := dim(a, 64)
+	C := matMul(seqMatrix(n, 1), seqMatrix(n, 2), n)
+	return trace(C, n), nil
+}
+
+// bodyAML scans synthetic transactions and flags structuring patterns
+// (amounts just under a reporting threshold) — the anti-money-laundering
+// kernel.
+func bodyAML(a Arg) (any, error) {
+	n := a.N
+	if n == 0 {
+		n = 6000
+	}
+	flagged := 0
+	const threshold = 10000
+	for i := 0; i < n; i++ {
+		amount := (i*7919 + 13) % 12000
+		if amount >= threshold-500 && amount < threshold {
+			flagged++
+		}
+	}
+	return fmt.Sprintf("flagged %d of %d transactions", flagged, n), nil
+}
+
+// --- helpers ----------------------------------------------------------------
+
+func synthetic(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte((i * 31) % 251)
+	}
+	return data
+}
+
+func dim(a Arg, def int) int {
+	if a.N > 0 {
+		return a.N
+	}
+	return def
+}
+
+func seqMatrix(n, seed int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = float64((i*seed)%7) - 3
+	}
+	return m
+}
+
+func matMul(A, B []float64, n int) []float64 {
+	C := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := A[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				C[i*n+j] += aik * B[k*n+j]
+			}
+		}
+	}
+	return C
+}
+
+func trace(M []float64, n int) float64 {
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += M[i*n+i]
+	}
+	return t
+}
+
+// --- MapReduce word count (real compute for the fan-out DAG example) ---------
+
+// SplitText partitions text into n roughly equal shards on word boundaries.
+func SplitText(text string, n int) []string {
+	words := strings.Fields(text)
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]string, 0, n)
+	per := (len(words) + n - 1) / n
+	for i := 0; i < len(words); i += per {
+		end := i + per
+		if end > len(words) {
+			end = len(words)
+		}
+		shards = append(shards, strings.Join(words[i:end], " "))
+	}
+	return shards
+}
+
+// MapWordCount counts word occurrences in one shard.
+func MapWordCount(shard string) map[string]int {
+	counts := make(map[string]int)
+	for _, w := range strings.Fields(shard) {
+		w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
+		if w != "" {
+			counts[w]++
+		}
+	}
+	return counts
+}
+
+// ReduceWordCounts merges mapper outputs.
+func ReduceWordCounts(parts []map[string]int) map[string]int {
+	total := make(map[string]int)
+	for _, part := range parts {
+		for w, c := range part {
+			total[w] += c
+		}
+	}
+	return total
+}
+
+// bodyDD copies a synthetic buffer block-by-block like FunctionBench's dd,
+// reporting the checksum of the copy.
+func bodyDD(a Arg) (any, error) {
+	n := a.Bytes
+	if n == 0 {
+		n = 1 << 20
+	}
+	src := synthetic(n)
+	dst := make([]byte, n)
+	const block = 4096
+	for off := 0; off < n; off += block {
+		end := off + block
+		if end > n {
+			end = n
+		}
+		copy(dst[off:end], src[off:end])
+	}
+	var sum uint32
+	for _, b := range dst {
+		sum = sum*31 + uint32(b)
+	}
+	return fmt.Sprintf("copied %d bytes, checksum %08x", n, sum), nil
+}
+
+// bodyVideo processes a synthetic clip: per frame, downsample 2x and
+// accumulate a luminance histogram — the shape of FunctionBench's video
+// pipeline without a codec dependency.
+func bodyVideo(a Arg) (any, error) {
+	frames := a.N
+	if frames == 0 {
+		frames = 8
+	}
+	const w = 64
+	var hist [4]int
+	for f := 0; f < frames; f++ {
+		frame := make([]byte, w*w)
+		for i := range frame {
+			frame[i] = byte((i*7 + f*13) % 256)
+		}
+		for y := 0; y < w/2; y++ {
+			for x := 0; x < w/2; x++ {
+				s := int(frame[2*y*w+2*x]) + int(frame[2*y*w+2*x+1]) +
+					int(frame[(2*y+1)*w+2*x]) + int(frame[(2*y+1)*w+2*x+1])
+				hist[(s/4)/64]++
+			}
+		}
+	}
+	return fmt.Sprintf("processed %d frames, histogram %v", frames, hist), nil
+}

@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzWordCount: splitting into any shard count and reducing must conserve
+// the total word count.
+func FuzzWordCount(f *testing.F) {
+	f.Add("hello world hello", 2)
+	f.Add("", 3)
+	f.Add("a", 0)
+	f.Fuzz(func(t *testing.T, text string, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n = n%8 + 1
+		shards := SplitText(text, n)
+		parts := make([]map[string]int, len(shards))
+		for i, s := range shards {
+			parts[i] = MapWordCount(s)
+		}
+		total := 0
+		for _, c := range ReduceWordCounts(parts) {
+			total += c
+		}
+		direct := 0
+		for _, c := range MapWordCount(strings.Join(shards, " ")) {
+			direct += c
+		}
+		if total != direct {
+			t.Errorf("split/map/reduce lost words: %d vs %d", total, direct)
+		}
+	})
+}
+
+// FuzzLoadJSON: arbitrary bytes must never panic the loader, and a failed
+// load must register nothing.
+func FuzzLoadJSON(f *testing.F) {
+	f.Add([]byte(`[{"name":"x","exec_us":100}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[{"name":"y","exec_us":-5}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRegistry()
+		before := len(r.Names())
+		if err := r.LoadJSON(data); err != nil {
+			if len(r.Names()) != before {
+				t.Error("failed load registered functions")
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/lang"
+)
+
+// FunctionSpec is the JSON-serializable description of a custom function,
+// so deployments can define workloads in configuration rather than code.
+// Durations are in microseconds; linear cost models are expressed as
+// fixed + per-unit terms.
+type FunctionSpec struct {
+	Name      string `json:"name"`
+	Lang      string `json:"lang,omitempty"`      // "python" (default) or "nodejs"
+	ExecUS    int64  `json:"exec_us"`             // handler CPU time
+	DepImport int64  `json:"dep_import_us"`       // cold-start dependency import
+	ArgBytes  int    `json:"arg_bytes,omitempty"` // request payload
+	ResBytes  int    `json:"result_bytes,omitempty"`
+
+	// Optional linear CPU cost model: exec = exec_us + per_byte_ns*Bytes +
+	// per_item_ns*N (overrides ExecUS when an Arg carries Bytes/N).
+	PerByteNS float64 `json:"per_byte_ns,omitempty"`
+	PerItemNS float64 `json:"per_item_ns,omitempty"`
+
+	// Optional FPGA implementation: fabric = fpga_us + fpga_per_byte_ns*Bytes
+	// + fpga_per_item_ns*N.
+	FPGAUS        int64   `json:"fpga_us,omitempty"`
+	FPGAPerByteNS float64 `json:"fpga_per_byte_ns,omitempty"`
+	FPGAPerItemNS float64 `json:"fpga_per_item_ns,omitempty"`
+
+	// Optional GPU kernel time.
+	GPUUS int64 `json:"gpu_us,omitempty"`
+}
+
+// Build converts the spec into a Function.
+func (fs FunctionSpec) Build() (*Function, error) {
+	if fs.Name == "" {
+		return nil, fmt.Errorf("workloads: function spec without name")
+	}
+	if fs.ExecUS <= 0 {
+		return nil, fmt.Errorf("workloads: function %q needs exec_us > 0", fs.Name)
+	}
+	lk := lang.Python
+	switch fs.Lang {
+	case "", "python":
+	case "nodejs":
+		lk = lang.Node
+	default:
+		return nil, fmt.Errorf("workloads: function %q has unsupported lang %q", fs.Name, fs.Lang)
+	}
+	f := &Function{
+		Name:        fs.Name,
+		Lang:        lk,
+		ExecCPU:     time.Duration(fs.ExecUS) * time.Microsecond,
+		DepImport:   time.Duration(fs.DepImport) * time.Microsecond,
+		ArgBytes:    fs.ArgBytes,
+		ResultBytes: fs.ResBytes,
+		Fabric:      time.Duration(fs.FPGAUS) * time.Microsecond,
+		GPUKernel:   time.Duration(fs.GPUUS) * time.Microsecond,
+	}
+	if fs.PerByteNS > 0 || fs.PerItemNS > 0 {
+		base := f.ExecCPU
+		perB, perI := fs.PerByteNS, fs.PerItemNS
+		f.ExecCPUFor = func(a Arg) time.Duration {
+			return base + time.Duration(perB*float64(a.Bytes)) + time.Duration(perI*float64(a.N))
+		}
+	}
+	if fs.FPGAUS > 0 && (fs.FPGAPerByteNS > 0 || fs.FPGAPerItemNS > 0) {
+		base := f.Fabric
+		perB, perI := fs.FPGAPerByteNS, fs.FPGAPerItemNS
+		f.FabricFor = func(a Arg) time.Duration {
+			return base + time.Duration(perB*float64(a.Bytes)) + time.Duration(perI*float64(a.N))
+		}
+	}
+	return f, nil
+}
+
+// LoadJSON parses a JSON array of FunctionSpec and registers each function.
+// On error nothing is registered.
+func (r *Registry) LoadJSON(data []byte) error {
+	var specs []FunctionSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return fmt.Errorf("workloads: bad function JSON: %w", err)
+	}
+	fns := make([]*Function, 0, len(specs))
+	for _, fs := range specs {
+		f, err := fs.Build()
+		if err != nil {
+			return err
+		}
+		fns = append(fns, f)
+	}
+	for _, f := range fns {
+		r.Add(f)
+	}
+	return nil
+}

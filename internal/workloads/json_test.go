@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+)
+
+const sampleJSON = `[
+  {"name": "thumbnail", "exec_us": 9000, "dep_import_us": 80000,
+   "arg_bytes": 262144, "result_bytes": 32768,
+   "per_byte_ns": 30,
+   "fpga_us": 500, "fpga_per_byte_ns": 2},
+  {"name": "router", "lang": "nodejs", "exec_us": 800, "gpu_us": 100}
+]`
+
+func TestLoadJSON(t *testing.T) {
+	r := NewRegistry()
+	if err := r.LoadJSON([]byte(sampleJSON)); err != nil {
+		t.Fatal(err)
+	}
+	th := r.MustGet("thumbnail")
+	if th.ExecCPU != 9*time.Millisecond || th.DepImport != 80*time.Millisecond {
+		t.Errorf("thumbnail costs wrong: %v %v", th.ExecCPU, th.DepImport)
+	}
+	if !th.HasFPGA() {
+		t.Error("thumbnail FPGA model missing")
+	}
+	// Linear model: 1MB adds 30ms of per-byte cost.
+	got := th.CPUCost(Arg{Bytes: 1 << 20})
+	want := 9*time.Millisecond + time.Duration(30*(1<<20))*time.Nanosecond
+	if got != want {
+		t.Errorf("linear CPU cost = %v, want %v", got, want)
+	}
+	fgot := th.FabricCost(Arg{Bytes: 1 << 20})
+	fwant := 500*time.Microsecond + time.Duration(2*(1<<20))*time.Nanosecond
+	if fgot != fwant {
+		t.Errorf("linear fabric cost = %v, want %v", fgot, fwant)
+	}
+	router := r.MustGet("router")
+	if router.Lang != "nodejs" || !router.HasGPU() {
+		t.Errorf("router spec wrong: %+v", router)
+	}
+}
+
+func TestLoadJSONValidation(t *testing.T) {
+	r := NewRegistry()
+	cases := []string{
+		`not json`,
+		`[{"exec_us": 100}]`, // no name
+		`[{"name": "x"}]`,    // no exec
+		`[{"name": "x", "exec_us": 1, "lang": "rust"}]`, // bad lang
+	}
+	for _, c := range cases {
+		if err := r.LoadJSON([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// All-or-nothing: a bad entry after a good one registers neither.
+	bad := `[{"name": "good", "exec_us": 10}, {"name": "", "exec_us": 10}]`
+	if err := r.LoadJSON([]byte(bad)); err == nil {
+		t.Fatal("partial batch accepted")
+	}
+	if _, err := r.Get("good"); err == nil {
+		t.Error("partial batch registered the valid entry")
+	}
+}

@@ -1,0 +1,255 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryContainsEvaluationSet(t *testing.T) {
+	r := NewRegistry()
+	want := append(FunctionBenchNames(),
+		"helloworld", "image-processing", "mscale", "madd", "vmult",
+		"matrix-comput", "anti-moneyl", "vecstage")
+	want = append(want, AlexaChain()...)
+	want = append(want, MapReduceChain()...)
+	for _, n := range want {
+		if _, err := r.Get(n); err != nil {
+			t.Errorf("missing function %q", n)
+		}
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("unknown function resolved")
+	}
+	if len(r.Names()) < len(want) {
+		t.Errorf("registry has %d functions, want >= %d", len(r.Names()), len(want))
+	}
+}
+
+func TestMustGetPanicsOnUnknown(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic")
+		}
+	}()
+	r.MustGet("missing")
+}
+
+func TestAddCustomFunction(t *testing.T) {
+	r := NewRegistry()
+	r.Add(&Function{Name: "custom", ExecCPU: time.Millisecond})
+	if f := r.MustGet("custom"); f.ExecCPU != time.Millisecond {
+		t.Error("custom function not stored")
+	}
+}
+
+func TestCostModelDefaultsAndOverrides(t *testing.T) {
+	r := NewRegistry()
+	gz := r.MustGet("gzip-compression")
+	if gz.CPUCost(Arg{}) != gz.ExecCPU {
+		t.Error("default arg did not use fixed cost")
+	}
+	c25 := gz.CPUCost(Arg{Bytes: 25 << 20})
+	c112 := gz.CPUCost(Arg{Bytes: 112 << 20})
+	if c112 <= c25 {
+		t.Error("gzip CPU cost not increasing in size")
+	}
+	a, res := gz.Sizes(Arg{Bytes: 1 << 20})
+	if a != 1<<20 || res != 1<<18 {
+		t.Errorf("gzip sizes = (%d,%d)", a, res)
+	}
+}
+
+// TestFig14fGzipShape: FPGA wins above the crossover with 4.8-8.3x for the
+// 25-112MB range, and loses for small files.
+func TestFig14fGzipShape(t *testing.T) {
+	r := NewRegistry()
+	gz := r.MustGet("gzip-compression")
+	if !gz.HasFPGA() {
+		t.Fatal("gzip has no FPGA implementation")
+	}
+	ratio := func(bytes int) float64 {
+		return float64(gz.CPUCost(Arg{Bytes: bytes})) / float64(gz.FabricCost(Arg{Bytes: bytes}))
+	}
+	if r := ratio(25 << 20); r < 4.2 || r > 5.4 {
+		t.Errorf("25MB CPU/FPGA = %.2f, want ~4.8", r)
+	}
+	if r := ratio(112 << 20); r < 7.4 || r > 9.2 {
+		t.Errorf("112MB CPU/FPGA = %.2f, want ~8.3", r)
+	}
+	if r := ratio(1 << 20); r >= 1 {
+		t.Errorf("1MB CPU/FPGA = %.2f, want <1 (CPU wins small files)", r)
+	}
+}
+
+// TestFig14gAMLShape: FPGA speedup grows from ~4.7x at 6K entries to ~34x
+// at 6M entries.
+func TestFig14gAMLShape(t *testing.T) {
+	r := NewRegistry()
+	aml := r.MustGet("anti-moneyl")
+	ratio := func(n int) float64 {
+		return float64(aml.CPUCost(Arg{N: n})) / float64(aml.FabricCost(Arg{N: n}))
+	}
+	if got := ratio(6000); got < 4.0 || got > 5.6 {
+		t.Errorf("6K ratio = %.2f, want ~4.7", got)
+	}
+	if got := ratio(6000000); got < 30 || got > 38 {
+		t.Errorf("6M ratio = %.2f, want ~34.6", got)
+	}
+	if ratio(6000) >= ratio(6000000) {
+		t.Error("AML speedup not growing with entries")
+	}
+}
+
+func TestChains(t *testing.T) {
+	if len(AlexaChain()) != 5 {
+		t.Errorf("Alexa chain has %d functions, want 5", len(AlexaChain()))
+	}
+	if len(MapReduceChain()) != 3 {
+		t.Errorf("MapReduce chain has %d functions, want 3", len(MapReduceChain()))
+	}
+}
+
+func TestHasFPGAClassification(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"mscale", "madd", "vmult", "gzip-compression", "anti-moneyl"} {
+		if !r.MustGet(name).HasFPGA() {
+			t.Errorf("%s should have an FPGA implementation", name)
+		}
+	}
+	for _, name := range []string{"chameleon", "helloworld", "alexa-frontend"} {
+		if r.MustGet(name).HasFPGA() {
+			t.Errorf("%s should not have an FPGA implementation", name)
+		}
+	}
+	if !r.MustGet("mscale").HasGPU() || r.MustGet("helloworld").HasGPU() {
+		t.Error("GPU classification wrong")
+	}
+}
+
+// --- compute bodies ----------------------------------------------------------
+
+func TestBodiesProduceRealResults(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		fn  string
+		arg Arg
+	}{
+		{"helloworld", Arg{}},
+		{"gzip-compression", Arg{Bytes: 1 << 14}},
+		{"pyaes", Arg{}},
+		{"matmul", Arg{N: 16}},
+		{"linpack", Arg{N: 16}},
+		{"image-resize", Arg{N: 64}},
+		{"chameleon", Arg{N: 10}},
+		{"mscale", Arg{N: 16}},
+		{"madd", Arg{N: 16}},
+		{"vmult", Arg{N: 16}},
+		{"anti-moneyl", Arg{N: 1000}},
+	}
+	for _, c := range cases {
+		f := r.MustGet(c.fn)
+		if f.Body == nil {
+			if c.fn == "matmul" || c.fn == "linpack" {
+				t.Errorf("%s has no body", c.fn)
+			}
+			continue
+		}
+		out, err := f.Body(c.arg)
+		if err != nil {
+			t.Errorf("%s body: %v", c.fn, err)
+			continue
+		}
+		if out == nil {
+			t.Errorf("%s body returned nil", c.fn)
+		}
+	}
+}
+
+func TestGzipBodyActuallyCompresses(t *testing.T) {
+	out, err := bodyGzip(Arg{Payload: []byte(strings.Repeat("abcabcabc", 1000))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.(string)
+	if !strings.Contains(s, "9000 ->") {
+		t.Errorf("unexpected gzip result %q", s)
+	}
+}
+
+func TestMatmulTraceDeterministic(t *testing.T) {
+	a, err := bodyMatmul(Arg{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := bodyMatmul(Arg{N: 8})
+	if a != b {
+		t.Error("matmul trace not deterministic")
+	}
+}
+
+func TestLinpackSolves(t *testing.T) {
+	out, err := bodyLinpack(Arg{N: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := out.(float64)
+	// Diagonally dominant system with b=1: solution components ~1/n each;
+	// the checksum must be finite and positive.
+	if sum <= 0 || sum > 32 {
+		t.Errorf("linpack checksum %v out of range", sum)
+	}
+}
+
+func TestAMLFlagsStructuring(t *testing.T) {
+	out, err := bodyAML(Arg{N: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.(string), "flagged") {
+		t.Errorf("unexpected AML output %v", out)
+	}
+}
+
+func TestWordCountPipeline(t *testing.T) {
+	text := "a b a c. A b! b"
+	shards := SplitText(text, 3)
+	if len(shards) == 0 || len(shards) > 3 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	joined := strings.Join(shards, " ")
+	if len(strings.Fields(joined)) != len(strings.Fields(text)) {
+		t.Error("split lost words")
+	}
+	parts := make([]map[string]int, len(shards))
+	for i, s := range shards {
+		parts[i] = MapWordCount(s)
+	}
+	total := ReduceWordCounts(parts)
+	if total["a"] != 3 || total["b"] != 3 || total["c"] != 1 {
+		t.Errorf("counts = %v", total)
+	}
+	if got := SplitText("", 4); len(got) != 0 {
+		t.Errorf("empty text produced shards: %v", got)
+	}
+	if got := SplitText("one two", 0); len(got) != 1 {
+		t.Errorf("n=0 not clamped: %v", got)
+	}
+}
+
+func TestDDAndVideoBodies(t *testing.T) {
+	out, err := bodyDD(Arg{Bytes: 10000})
+	if err != nil || !strings.Contains(out.(string), "copied 10000 bytes") {
+		t.Errorf("dd body: %v, %v", out, err)
+	}
+	// Deterministic checksum.
+	out2, _ := bodyDD(Arg{Bytes: 10000})
+	if out != out2 {
+		t.Error("dd checksum not deterministic")
+	}
+	v, err := bodyVideo(Arg{N: 3})
+	if err != nil || !strings.Contains(v.(string), "processed 3 frames") {
+		t.Errorf("video body: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,46 @@
+package xpu_test
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/sim"
+	"repro/internal/xpu"
+)
+
+// A process on the host creates an XPU-FIFO, grants a DPU process write
+// access, and receives a message over the interconnect — the nIPC pattern
+// serverless functions use for cross-PU chains.
+func Example() {
+	env := sim.NewEnv()
+	machine := hw.Build(env, hw.Config{DPUs: 1})
+	shim := xpu.NewShim(env, machine)
+	hostOS := localos.New(env, machine.PU(0))
+	dpuOS := localos.New(env, machine.PU(1))
+	hostNode := shim.AddNode(machine.PU(0), hostOS)
+	dpuNode := shim.AddNode(machine.PU(1), dpuOS)
+
+	hostPID := hostNode.Register(hostOS.NewDetachedProcess("frontend"))
+	dpuPID := dpuNode.Register(dpuOS.NewDetachedProcess("worker"))
+
+	env.Spawn("frontend", func(p *sim.Proc) {
+		fd, _ := hostNode.FIFOInit(p, hostPID, "results", 4)
+		hostNode.GrantCap(p, hostPID, dpuPID,
+			xpu.ObjID{Kind: "fifo", UUID: "results"}, xpu.PermWrite)
+		msg, _ := fd.Read(p)
+		fmt.Printf("host received %q via nIPC\n", msg.Payload)
+	})
+	env.Spawn("worker", func(p *sim.Proc) {
+		p.Sleep(1e6) // wait for the FIFO + capability
+		fd, err := dpuNode.FIFOConnect(p, dpuPID, "results")
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fd.Write(p, localos.Message{Payload: []byte("done")})
+	})
+	env.Run()
+	// Output:
+	// host received "done" via nIPC
+}

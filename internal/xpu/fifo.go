@@ -1,0 +1,173 @@
+package xpu
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/sim"
+)
+
+// XPUFIFO is the neighbor-IPC object: a FIFO whose endpoints may live on
+// different PUs. The queue is hosted on the creating PU; writes from another
+// PU traverse the direct interconnect (RDMA for DPUs, DMA for accelerators),
+// and remote reads pull the payload across the same link. This gives
+// functions the exact FIFO interface they use locally (§3.3) while the shim
+// handles placement.
+type XPUFIFO struct {
+	UUID   string
+	Home   hw.PUID // PU hosting the queue
+	Owner  XPID
+	ch     *sim.Chan[localos.Message]
+	closed bool
+}
+
+// Len reports queued messages.
+func (f *XPUFIFO) Len() int { return f.ch.Len() }
+
+// Closed reports whether the FIFO has been closed.
+func (f *XPUFIFO) Closed() bool { return f.closed }
+
+// FD is a process-local descriptor for a connected XPU-FIFO.
+type FD struct {
+	fifo *XPUFIFO
+	node *Node // the node through which the holder accesses the FIFO
+	pid  XPID
+}
+
+// UUID returns the global UUID of the underlying FIFO.
+func (fd *FD) UUID() string { return fd.fifo.UUID }
+
+// FIFOInit implements xfifo_init: create an XPU-FIFO with the given global
+// UUID, owned by caller, hosted on this node's PU. Global UUIDs must be
+// unique machine-wide, so creation synchronizes immediately with all other
+// nodes (§5 "Immediate synchronization").
+func (n *Node) FIFOInit(p *sim.Proc, caller XPID, uuid string, capacity int) (*FD, error) {
+	n.xcall(p)
+	if _, exists := n.Shim.fifos[uuid]; exists {
+		return nil, fmt.Errorf("xpu: FIFO UUID %q already in use", uuid)
+	}
+	f := &XPUFIFO{
+		UUID:  uuid,
+		Home:  n.PU.ID,
+		Owner: caller,
+		ch:    sim.NewChan[localos.Message](n.Shim.Env, capacity),
+	}
+	n.Shim.fifos[uuid] = f
+	obj := ObjID{Kind: "fifo", UUID: uuid}
+	n.Shim.grantLocal(caller, obj, PermRead|PermWrite|PermOwner)
+	n.broadcast(p) // UUID uniqueness + owner capability propagate eagerly
+	return &FD{fifo: f, node: n, pid: caller}, nil
+}
+
+// FIFOConnect implements xfifo_connect: attach to an existing XPU-FIFO by
+// global UUID. The caller must hold read or write permission.
+func (n *Node) FIFOConnect(p *sim.Proc, caller XPID, uuid string) (*FD, error) {
+	n.xcall(p)
+	f, ok := n.Shim.fifos[uuid]
+	if !ok || f.closed {
+		return nil, fmt.Errorf("xpu: no FIFO %q", uuid)
+	}
+	obj := ObjID{Kind: "fifo", UUID: uuid}
+	if !n.Shim.HasCap(caller, obj, PermRead) && !n.Shim.HasCap(caller, obj, PermWrite) {
+		return nil, fmt.Errorf("xpu: %v lacks permission on FIFO %q", caller, uuid)
+	}
+	return &FD{fifo: f, node: n, pid: caller}, nil
+}
+
+// Write implements xfifo_write. The caller must hold write permission.
+// When the writer's PU is not the FIFO's home, the payload crosses the
+// interconnect link between the two PUs.
+func (fd *FD) Write(p *sim.Proc, m localos.Message) error {
+	n := fd.node
+	n.xcall(p)
+	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
+	if !n.Shim.HasCap(fd.pid, obj, PermWrite) {
+		return fmt.Errorf("xpu: %v lacks write permission on FIFO %q", fd.pid, fd.fifo.UUID)
+	}
+	if fd.fifo.closed {
+		return fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
+	}
+	if n.PU.ID != fd.fifo.Home {
+		if _, err := n.Shim.Machine.Transfer(p, n.Host.ID, fd.fifo.Home, m.Size()); err != nil {
+			return err
+		}
+	}
+	fd.fifo.ch.Send(p, m)
+	return nil
+}
+
+// Read implements xfifo_read, blocking until a message is available. The
+// caller must hold read permission. Remote readers pull the payload across
+// the interconnect.
+func (fd *FD) Read(p *sim.Proc) (localos.Message, error) {
+	n := fd.node
+	n.xcall(p)
+	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
+	if !n.Shim.HasCap(fd.pid, obj, PermRead) {
+		return localos.Message{}, fmt.Errorf("xpu: %v lacks read permission on FIFO %q", fd.pid, fd.fifo.UUID)
+	}
+	m, ok := fd.fifo.ch.Recv(p)
+	if !ok {
+		return localos.Message{}, fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
+	}
+	if n.PU.ID != fd.fifo.Home {
+		if _, err := n.Shim.Machine.Transfer(p, fd.fifo.Home, n.Host.ID, m.Size()); err != nil {
+			return localos.Message{}, err
+		}
+	}
+	return m, nil
+}
+
+// Close implements xfifo_close: the owner tears the FIFO down; the UUID
+// reclamation propagates lazily to other nodes — stale knowledge of a dead
+// UUID is harmless (§5 "Lazy synchronization").
+func (fd *FD) Close(p *sim.Proc) error {
+	n := fd.node
+	n.xcall(p)
+	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
+	if !n.Shim.HasCap(fd.pid, obj, PermOwner) {
+		// Non-owners just drop their descriptor.
+		return nil
+	}
+	if !fd.fifo.closed {
+		fd.fifo.closed = true
+		fd.fifo.ch.Close()
+		delete(n.Shim.fifos, fd.fifo.UUID)
+		n.lazySync(p)
+	}
+	return nil
+}
+
+// SpawnBody is the program run by an xSpawn'd process: it executes as a
+// simulation process on the target PU with its OS-level process handle.
+type SpawnBody func(p *sim.Proc, node *Node, self *localos.Process)
+
+// XSpawn implements xSpawn: start a new program on another PU (Table 2).
+// The request travels over the interconnect to the target node, whose OS
+// spawns the process; capv capabilities are granted to the child explicitly
+// (no implicit permission inheritance, §3.4). It returns the child's
+// xpu_pid.
+func (n *Node) XSpawn(p *sim.Proc, targetPU hw.PUID, name string, capv map[ObjID]Perm, body SpawnBody) (XPID, error) {
+	n.xcall(p)
+	target := n.Shim.Node(targetPU)
+	if target == nil {
+		return XPID{}, fmt.Errorf("xpu: no shim node on PU %d", targetPU)
+	}
+	if n.PU.ID != targetPU {
+		if _, err := n.Shim.Machine.Transfer(p, n.Host.ID, target.Host.ID, 256); err != nil {
+			return XPID{}, err
+		}
+	}
+	child := target.OS.Spawn(p, name)
+	x := target.Register(child)
+	for obj, perm := range capv {
+		n.Shim.grantLocal(x, obj, perm)
+	}
+	if body != nil {
+		n.Shim.Env.Spawn(fmt.Sprintf("%s@pu%d", name, targetPU), func(sp *sim.Proc) {
+			body(sp, target, child)
+		})
+	}
+	return x, nil
+}

@@ -1,0 +1,326 @@
+// Package xpu implements XPU-Shim, the distributed indirection layer that
+// bridges a single serverless runtime and the multiple operating systems of
+// a heterogeneous computer (§3 of the paper).
+//
+// One shim Node runs on every general-purpose PU; accelerators that cannot
+// run programs get a *virtual* node hosted on a neighbor CPU/DPU (§4.1).
+// Nodes synchronize global state by explicit message passing over the
+// hardware interconnect — never by shared memory — following the multikernel
+// tradition the paper cites.
+//
+// The two key primitives are:
+//
+//   - Distributed capabilities: every process has a CAP_Group replicated on
+//     all nodes (capability updates synchronize immediately, so permission
+//     checks are always local), addressed by a globally unique xpu_pid that
+//     encodes (PU-ID, local UUID) — creation needs no synchronization.
+//
+//   - Neighbor IPC (nIPC): XPU-FIFOs let processes on different PUs
+//     communicate over the direct interconnect (RDMA/DMA) instead of the
+//     network, through the same FIFO interface local processes use.
+package xpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// XPID is a globally unique process identifier: the PU's ID plus the
+// process's UUID (PID) on the local OS. The encoding statically partitions
+// the ID space across PUs, so allocating one requires no synchronization
+// (§3.2 "Global process").
+type XPID struct {
+	PU    hw.PUID
+	Local localos.PID
+}
+
+func (x XPID) String() string { return fmt.Sprintf("xpid(%d:%d)", x.PU, x.Local) }
+
+// Perm is a capability permission bitmask.
+type Perm uint8
+
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	// PermOwner may grant and revoke the capability to other processes.
+	PermOwner
+)
+
+// Has reports whether p includes all bits of q.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+// ObjID identifies a distributed object (currently XPU-FIFOs).
+type ObjID struct {
+	Kind string // "fifo"
+	UUID string // global UUID
+}
+
+// TransportMode selects the XPUcall implementation between a user process
+// and its local XPU-Shim (Fig 7).
+type TransportMode int
+
+const (
+	// TransportBase uses request and response FIFOs: two IPC round trips.
+	TransportBase TransportMode = iota
+	// TransportMPSC posts requests into a shared MPSC queue polled by the
+	// shim and uses IPC only for the response: one round trip.
+	TransportMPSC
+	// TransportPoll additionally has the caller poll shared memory for the
+	// response, eliminating IPC entirely.
+	TransportPoll
+)
+
+var transportNames = map[TransportMode]string{
+	TransportBase: "base", TransportMPSC: "mpsc", TransportPoll: "poll",
+}
+
+func (m TransportMode) String() string {
+	if s, ok := transportNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("TransportMode(%d)", int(m))
+}
+
+// CallOverhead returns the user↔shim XPUcall cost for the mode on the given
+// PU kind. The per-round-trip IPC cost is much higher on slow DPU cores,
+// which is what motivates the MPSC and polling optimizations (§5).
+func (m TransportMode) CallOverhead(kind hw.PUKind) time.Duration {
+	rt := params.XPUCallIPCRoundTripCPU
+	if kind == hw.DPU {
+		rt = params.XPUCallIPCRoundTripDPU
+	}
+	switch m {
+	case TransportBase:
+		return 2*rt + params.XPUCallShimHandling
+	case TransportMPSC:
+		return params.XPUCallMPSCEnqueue + rt + params.XPUCallShimHandling
+	case TransportPoll:
+		return params.XPUCallMPSCEnqueue + params.XPUCallShimHandling + params.XPUCallPollResponse
+	default:
+		return 2*rt + params.XPUCallShimHandling
+	}
+}
+
+// SyncStats counts inter-node synchronization traffic, exposed for the
+// lazy-vs-immediate ablation.
+type SyncStats struct {
+	ImmediateSyncs int // broadcasts performed eagerly
+	LazyQueued     int // updates deferred
+	LazyFlushes    int // batched broadcasts of deferred updates
+}
+
+// Shim is the distributed XPU-Shim instance spanning one machine.
+type Shim struct {
+	Env     *sim.Env
+	Machine *hw.Machine
+
+	nodes map[hw.PUID]*Node
+
+	// Replicated global state. The replication is modeled (a single map)
+	// but every mutation charges the synchronization cost the distributed
+	// protocol would pay, per the strategies of §5.
+	caps  map[XPID]map[ObjID]Perm
+	fifos map[string]*XPUFIFO // by global UUID
+
+	lazyBatch     int // deletions queued for lazy sync
+	lazyBatchSize int
+	// EagerDeletes disables lazy synchronization of object reclamations,
+	// broadcasting every delete immediately (the ablation against §5's
+	// lazy strategy).
+	EagerDeletes bool
+	stats        SyncStats
+}
+
+// NewShim creates a shim over the machine with no nodes yet.
+func NewShim(env *sim.Env, m *hw.Machine) *Shim {
+	return &Shim{
+		Env:           env,
+		Machine:       m,
+		nodes:         make(map[hw.PUID]*Node),
+		caps:          make(map[XPID]map[ObjID]Perm),
+		fifos:         make(map[string]*XPUFIFO),
+		lazyBatchSize: 16,
+	}
+}
+
+// Stats returns synchronization counters.
+func (s *Shim) Stats() SyncStats { return s.stats }
+
+// Node is the XPU-Shim instance on (or for) one PU.
+type Node struct {
+	Shim *Shim
+	PU   *hw.PU           // the PU this node manages
+	Host *hw.PU           // where the shim code actually runs (≠ PU for accelerators)
+	OS   *localos.OS      // the local OS (the host's OS for virtual nodes)
+	Mode TransportMode    // XPUcall transport for user processes on this node
+	self *localos.Process // the shim daemon's own OS process
+
+	// handlers bounds concurrent XPUcall handling: §5's multi-threaded
+	// shim dedicates one MPSC queue per handler thread, so calls beyond
+	// the thread count queue behind in-flight ones.
+	handlers *sim.Resource
+}
+
+// AddNode installs a shim node on a general-purpose PU running os.
+// The default transport is Base on CPUs (cheap IPC) and Poll on DPUs
+// (the paper's default after the Fig 7 optimizations).
+func (s *Shim) AddNode(pu *hw.PU, os *localos.OS) *Node {
+	mode := TransportBase
+	if pu.Kind == hw.DPU {
+		mode = TransportPoll
+	}
+	n := &Node{Shim: s, PU: pu, Host: pu, OS: os, Mode: mode}
+	n.self = os.NewDetachedProcess("xpu-shimd")
+	n.handlers = sim.NewResource(s.Env, 1)
+	s.nodes[pu.ID] = n
+	return n
+}
+
+// AddVirtualNode installs a shim node for an accelerator PU (FPGA/GPU),
+// hosted on the neighbor general-purpose PU host whose OS is hostOS (§4.1:
+// "we start a virtual XPU-Shim instance on the neighbor CPU/DPU").
+func (s *Shim) AddVirtualNode(accel *hw.PU, host *hw.PU, hostOS *localos.OS) *Node {
+	n := &Node{Shim: s, PU: accel, Host: host, OS: hostOS, Mode: TransportBase}
+	n.self = hostOS.NewDetachedProcess("xpu-shimd-virt")
+	n.handlers = sim.NewResource(s.Env, 1)
+	s.nodes[accel.ID] = n
+	return n
+}
+
+// Node returns the shim node for a PU, or nil.
+func (s *Shim) Node(id hw.PUID) *Node { return s.nodes[id] }
+
+// Nodes returns all nodes keyed by PU ID.
+func (s *Shim) Nodes() map[hw.PUID]*Node { return s.nodes }
+
+// Virtual reports whether this node manages an accelerator from a neighbor
+// host.
+func (n *Node) Virtual() bool { return n.PU.ID != n.Host.ID }
+
+// SetHandlerThreads configures the node's XPUcall handler thread count
+// (§5: each thread polls a dedicated MPSC queue).
+func (n *Node) SetHandlerThreads(threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	n.handlers = sim.NewResource(n.Shim.Env, threads)
+}
+
+// HandlerThreads reports the configured handler thread count.
+func (n *Node) HandlerThreads() int { return n.handlers.Capacity() }
+
+// xcall charges the user↔shim XPUcall transport cost on this node; the
+// shim-side handling portion contends on the handler threads.
+func (n *Node) xcall(p *sim.Proc) {
+	overhead := n.Mode.CallOverhead(n.Host.Kind) - params.XPUCallShimHandling
+	p.Sleep(overhead)
+	n.handlers.Acquire(p)
+	p.Sleep(params.XPUCallShimHandling)
+	n.handlers.Release()
+}
+
+// broadcast charges the cost of an immediate state synchronization from this
+// node to every other node: a small control message over each link, sent in
+// parallel (the latency is the slowest peer's link).
+func (n *Node) broadcast(p *sim.Proc) {
+	var worst time.Duration
+	for id := range n.Shim.nodes {
+		if id == n.PU.ID {
+			continue
+		}
+		if l, ok := n.Shim.Machine.LinkBetween(n.Host.ID, id); ok {
+			if d := l.TransferTime(64); d > worst {
+				worst = d
+			}
+		}
+	}
+	p.Sleep(worst)
+	n.Shim.stats.ImmediateSyncs++
+}
+
+// lazySync queues a harmless-stale update (e.g. a FIFO UUID reclamation) and
+// flushes the batch once it is full (§5 "Lazy synchronization"). With
+// EagerDeletes set, every update broadcasts immediately instead.
+func (n *Node) lazySync(p *sim.Proc) {
+	if n.Shim.EagerDeletes {
+		n.broadcast(p)
+		return
+	}
+	n.Shim.lazyBatch++
+	n.Shim.stats.LazyQueued++
+	if n.Shim.lazyBatch >= n.Shim.lazyBatchSize {
+		n.broadcast(p)
+		n.Shim.stats.ImmediateSyncs-- // the broadcast was a lazy flush
+		n.Shim.stats.LazyFlushes++
+		n.Shim.lazyBatch = 0
+	}
+}
+
+// Register makes an OS process globally visible, creating its CAP_Group and
+// returning its xpu_pid. No synchronization is needed: the xpu_pid encoding
+// statically partitions the namespace (§5 "No synchronization").
+func (n *Node) Register(pr *localos.Process) XPID {
+	x := XPID{PU: n.PU.ID, Local: pr.PID}
+	if _, ok := n.Shim.caps[x]; !ok {
+		n.Shim.caps[x] = make(map[ObjID]Perm)
+	}
+	return x
+}
+
+// GetXPUPID implements the get_xpupid XPUcall.
+func (n *Node) GetXPUPID(p *sim.Proc, pr *localos.Process) XPID {
+	n.xcall(p)
+	return n.Register(pr)
+}
+
+// capsOf returns the capability set for x, creating it if needed.
+func (s *Shim) capsOf(x XPID) map[ObjID]Perm {
+	c, ok := s.caps[x]
+	if !ok {
+		c = make(map[ObjID]Perm)
+		s.caps[x] = c
+	}
+	return c
+}
+
+// HasCap reports whether x holds perm on obj. Checks are always local —
+// capability updates synchronize immediately so "permission checking can
+// always finish locally" (§5).
+func (s *Shim) HasCap(x XPID, obj ObjID, perm Perm) bool {
+	return s.capsOf(x)[obj].Has(perm)
+}
+
+// GrantCap implements grant_cap: caller grants perm on obj to target.
+// The caller must hold PermOwner on obj. The update is synchronized to all
+// nodes immediately.
+func (n *Node) GrantCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm) error {
+	n.xcall(p)
+	if !n.Shim.HasCap(caller, obj, PermOwner) {
+		return fmt.Errorf("xpu: %v is not an owner of %v", caller, obj)
+	}
+	n.Shim.capsOf(target)[obj] |= perm
+	n.broadcast(p)
+	return nil
+}
+
+// RevokeCap implements revoke_cap.
+func (n *Node) RevokeCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm) error {
+	n.xcall(p)
+	if !n.Shim.HasCap(caller, obj, PermOwner) {
+		return fmt.Errorf("xpu: %v is not an owner of %v", caller, obj)
+	}
+	n.Shim.capsOf(target)[obj] &^= perm
+	n.broadcast(p)
+	return nil
+}
+
+// grantLocal installs a capability without charging call/sync costs; used
+// when the shim itself creates an object on behalf of a process.
+func (s *Shim) grantLocal(x XPID, obj ObjID, perm Perm) {
+	s.capsOf(x)[obj] |= perm
+}
