@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench report report-md golden examples clean
+.PHONY: all check build vet test race bench microbench perfjson report report-md golden examples clean
 
-all: build vet test
+all: check
+
+# The full CI gate: the harness is concurrent, so -race is required, not
+# optional.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -20,6 +24,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Kernel-only microbenchmarks (ns/op and allocs/op for Sleep, Spawn, Chan).
+microbench:
+	$(GO) test ./internal/sim -bench 'Kernel|ChanPingPong' -benchmem -run xxx
+
+# Regenerate the machine-readable perf snapshot (BENCH_kernel.json).
+perfjson:
+	$(GO) run ./cmd/molecule-bench -timing -json BENCH_kernel.json > /dev/null
 
 # Regenerate every paper table/figure (plus ablations) to stdout.
 report:

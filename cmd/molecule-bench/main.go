@@ -2,30 +2,53 @@
 //
 // Usage:
 //
-//	molecule-bench                # run every experiment
-//	molecule-bench -exp fig10c    # run one experiment
-//	molecule-bench -list          # list experiment IDs
+//	molecule-bench                        # run every experiment (parallel)
+//	molecule-bench -parallel 1            # sequential run (same bytes)
+//	molecule-bench -exp fig10c            # run one experiment
+//	molecule-bench -list                  # list experiment IDs
+//	molecule-bench -timing                # append per-experiment wall times
+//	molecule-bench -timing -json BENCH_kernel.json
+//	                                      # + kernel microbenchmarks, as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/sim/simbench"
 )
+
+// benchJSON is the machine-readable perf snapshot written by -json. It pins
+// the harness wall times and the kernel microbenchmark numbers so perf
+// regressions show up as diffs, not vibes.
+type benchJSON struct {
+	Parallel    int               `json:"parallel"`
+	TotalWallMS float64           `json:"total_wall_ms"`
+	Experiments []expTiming       `json:"experiments"`
+	KernelBench []simbench.Result `json:"kernel_bench"`
+}
+
+type expTiming struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func main() {
 	exp := flag.String("exp", "", "experiment id(s) to run, comma separated (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
 	md := flag.Bool("md", false, "emit the full report as markdown")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = sequential; output is identical either way)")
+	timing := flag.Bool("timing", false, "append per-experiment wall time and total after the report")
+	jsonPath := flag.String("json", "", "with -timing: also run the kernel microbenchmarks and write a machine-readable snapshot to this `file`")
 	flag.Parse()
-
-	if *md {
-		bench.RunAllMarkdown(os.Stdout)
-		return
-	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -33,20 +56,74 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		bench.RunAll(os.Stdout)
+
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows available ids\n", id)
+				os.Exit(1)
+			}
+			fmt.Printf("### %s — %s\n    paper: %s\n\n", e.ID, e.Title, e.Paper)
+			for _, t := range e.Run() {
+				t.Fprint(os.Stdout)
+			}
+		}
 		return
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		id = strings.TrimSpace(id)
-		e, ok := bench.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows available ids\n", id)
-			os.Exit(1)
+
+	// Full report. RunEach streams results in evaluation-section order, so
+	// the report bytes match a sequential run at any -parallel value.
+	var timings []expTiming
+	start := time.Now()
+	bench.RunEach(*parallel, func(r bench.Result) {
+		if *md {
+			if len(timings) == 0 {
+				fmt.Println("# Molecule reproduction — experiment report")
+				fmt.Println()
+			}
+			fmt.Printf("## %s — %s\n\n> paper: %s\n\n", r.ID, r.Title, r.Paper)
+			for _, t := range r.Tables {
+				t.Markdown(os.Stdout)
+			}
+		} else {
+			fmt.Printf("### %s — %s\n    paper: %s\n\n", r.ID, r.Title, r.Paper)
+			for _, t := range r.Tables {
+				t.Fprint(os.Stdout)
+			}
 		}
-		fmt.Printf("### %s — %s\n    paper: %s\n\n", e.ID, e.Title, e.Paper)
-		for _, t := range e.Run() {
-			t.Fprint(os.Stdout)
-		}
+		timings = append(timings, expTiming{ID: r.ID, WallMS: ms(r.Wall)})
+	})
+	total := time.Since(start)
+
+	if !*timing {
+		return
 	}
+	fmt.Printf("### timing — wall clock, %d worker(s)\n\n", *parallel)
+	for _, t := range timings {
+		fmt.Printf("    %-16s %8.1f ms\n", t.ID, t.WallMS)
+	}
+	fmt.Printf("    %-16s %8.1f ms\n\n", "TOTAL", ms(total))
+
+	if *jsonPath == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "running kernel microbenchmarks for %s ...\n", *jsonPath)
+	snap := benchJSON{
+		Parallel:    *parallel,
+		TotalWallMS: ms(total),
+		Experiments: timings,
+		KernelBench: simbench.All(),
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 }

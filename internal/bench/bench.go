@@ -10,7 +10,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hw"
@@ -28,9 +30,15 @@ type Experiment struct {
 	Run   func() []*metrics.Table
 }
 
-var registry []Experiment
+var (
+	registry []Experiment
+	idIndex  = map[string]int{} // ID → position in registry
+)
 
-func register(e Experiment) { registry = append(registry, e) }
+func register(e Experiment) {
+	idIndex[e.ID] = len(registry)
+	registry = append(registry, e)
+}
 
 // All returns every experiment in evaluation-section order.
 func All() []Experiment {
@@ -40,49 +48,125 @@ func All() []Experiment {
 	return out
 }
 
-func order(id string) int {
+// evalOrder maps experiment IDs to their position in the paper's evaluation
+// section, precomputed once so sorting is O(n log n) map lookups instead of
+// rebuilding the ID slice on every comparison.
+var evalOrder = func() map[string]int {
+	m := map[string]int{}
 	for i, k := range []string{
 		"fig2a", "fig2b", "fig8", "fig9", "fig10ab", "fig10c", "tab4",
 		"fig11a", "fig11bc", "fig12", "fig13", "fig14a", "fig14b", "fig14c",
 		"fig14d", "fig14e", "fig14f", "fig14g", "fig14h", "fig15", "tab1", "tab5",
 	} {
-		if k == id {
-			return i
-		}
+		m[k] = i
+	}
+	return m
+}()
+
+func order(id string) int {
+	if i, ok := evalOrder[id]; ok {
+		return i
 	}
 	return 1 << 20
 }
 
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
-		}
+	if i, ok := idIndex[id]; ok {
+		return registry[i], true
 	}
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment and prints its tables to w.
-func RunAll(w io.Writer) {
-	for _, e := range All() {
-		fmt.Fprintf(w, "### %s — %s\n    paper: %s\n\n", e.ID, e.Title, e.Paper)
-		for _, t := range e.Run() {
-			t.Fprint(w)
+// Result is one executed experiment: its tables plus the wall-clock time
+// Run took. Tables are pure data, so rendering can happen later, on a
+// different goroutine, in any order.
+type Result struct {
+	Experiment
+	Tables []*metrics.Table
+	Wall   time.Duration
+}
+
+// RunEach executes every experiment and calls emit for each, always in
+// evaluation-section order. workers > 1 runs experiments concurrently on
+// that many goroutines (workers <= 0 means GOMAXPROCS); each experiment owns
+// an isolated sim.Env, so concurrency cannot change any result, and emit is
+// only ever called from the caller's goroutine, in order — output is
+// byte-identical to a sequential run. An experiment's results are emitted as
+// soon as it and all its predecessors have finished.
+func RunEach(workers int, emit func(Result)) {
+	exps := All()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		for _, e := range exps {
+			emit(runOne(e))
 		}
+		return
+	}
+	results := make([]Result, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				results[i] = runOne(exps[i])
+				close(done[i])
+			}
+		}()
+	}
+	for i := range exps {
+		<-done[i]
+		emit(results[i])
 	}
 }
 
+func runOne(e Experiment) Result {
+	start := time.Now()
+	tables := e.Run()
+	return Result{Experiment: e, Tables: tables, Wall: time.Since(start)}
+}
+
+// RunAll executes every experiment and prints its tables to w. Experiments
+// run concurrently (GOMAXPROCS workers); output order and bytes are
+// identical to a sequential run.
+func RunAll(w io.Writer) { RunAllParallel(w, 0) }
+
+// RunAllParallel is RunAll with an explicit worker count (1 = sequential).
+func RunAllParallel(w io.Writer, workers int) {
+	RunEach(workers, func(r Result) {
+		fmt.Fprintf(w, "### %s — %s\n    paper: %s\n\n", r.ID, r.Title, r.Paper)
+		for _, t := range r.Tables {
+			t.Fprint(w)
+		}
+	})
+}
+
 // RunAllMarkdown executes every experiment and writes a markdown report.
-func RunAllMarkdown(w io.Writer) {
+// Like RunAll, it runs experiments on GOMAXPROCS workers.
+func RunAllMarkdown(w io.Writer) { RunAllMarkdownParallel(w, 0) }
+
+// RunAllMarkdownParallel is RunAllMarkdown with an explicit worker count.
+func RunAllMarkdownParallel(w io.Writer, workers int) {
 	fmt.Fprintln(w, "# Molecule reproduction — experiment report")
 	fmt.Fprintln(w)
-	for _, e := range All() {
-		fmt.Fprintf(w, "## %s — %s\n\n> paper: %s\n\n", e.ID, e.Title, e.Paper)
-		for _, t := range e.Run() {
+	RunEach(workers, func(r Result) {
+		fmt.Fprintf(w, "## %s — %s\n\n> paper: %s\n\n", r.ID, r.Title, r.Paper)
+		for _, t := range r.Tables {
 			t.Markdown(w)
 		}
-	}
+	})
 }
 
 // sandboxed runs body as the driver process of a fresh simulation and

@@ -54,11 +54,7 @@ func (c *Chan[T]) Close() {
 	waiters := c.recvq
 	c.recvq = nil
 	for _, w := range waiters {
-		w := w
-		c.env.schedule(c.env.now, func() {
-			var zero T
-			c.env.resume(w.p, resumeMsg{val: recvResult[T]{val: zero, ok: false}})
-		})
+		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: recvResult[T]{ok: false}})
 	}
 }
 
@@ -72,9 +68,7 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 	if len(c.recvq) > 0 {
 		w := c.recvq[0]
 		c.recvq = c.recvq[1:]
-		c.env.schedule(c.env.now, func() {
-			c.env.resume(w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
-		})
+		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
 		return
 	}
 	if len(c.buf) < c.cap {
@@ -95,9 +89,7 @@ func (c *Chan[T]) TrySend(v T) bool {
 	if len(c.recvq) > 0 {
 		w := c.recvq[0]
 		c.recvq = c.recvq[1:]
-		c.env.schedule(c.env.now, func() {
-			c.env.resume(w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
-		})
+		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
 		return true
 	}
 	if len(c.buf) < c.cap {
@@ -134,14 +126,14 @@ func (c *Chan[T]) tryRecvLocked() (v T, ok, got bool) {
 			w := c.sendq[0]
 			c.sendq = c.sendq[1:]
 			c.buf = append(c.buf, w.val)
-			c.env.schedule(c.env.now, func() { c.env.resume(w.p, resumeMsg{}) })
+			c.env.scheduleResume(c.env.now, w.p, resumeMsg{})
 		}
 		return v, true, true
 	}
 	if len(c.sendq) > 0 { // unbuffered rendezvous
 		w := c.sendq[0]
 		c.sendq = c.sendq[1:]
-		c.env.schedule(c.env.now, func() { c.env.resume(w.p, resumeMsg{}) })
+		c.env.scheduleResume(c.env.now, w.p, resumeMsg{})
 		return w.val, true, true
 	}
 	if c.closed {
@@ -180,10 +172,7 @@ func (ev *Event) Trigger(payload any) {
 	waiters := ev.waiters
 	ev.waiters = nil
 	for _, p := range waiters {
-		p := p
-		ev.env.schedule(ev.env.now, func() {
-			ev.env.resume(p, resumeMsg{val: ev.payload})
-		})
+		ev.env.scheduleResume(ev.env.now, p, resumeMsg{val: ev.payload})
 	}
 }
 
@@ -244,7 +233,7 @@ func (r *Resource) Release() {
 	if len(r.waitq) > 0 {
 		p := r.waitq[0]
 		r.waitq = r.waitq[1:]
-		r.env.schedule(r.env.now, func() { r.env.resume(p, resumeMsg{}) })
+		r.env.scheduleResume(r.env.now, p, resumeMsg{})
 		return
 	}
 	if r.inUse > 0 {
@@ -273,8 +262,7 @@ func (wg *WaitGroup) Add(delta int) {
 		waiters := wg.waiters
 		wg.waiters = nil
 		for _, p := range waiters {
-			p := p
-			wg.env.schedule(wg.env.now, func() { wg.env.resume(p, resumeMsg{}) })
+			wg.env.scheduleResume(wg.env.now, p, resumeMsg{})
 		}
 	}
 }

@@ -1,0 +1,19 @@
+package sim_test
+
+// Kernel microbenchmarks. The bodies live in simbench so the molecule-bench
+// CLI can run the same measurements for BENCH_kernel.json; see that package
+// for what each one isolates. Run with:
+//
+//	go test ./internal/sim -bench Kernel -benchmem
+//	go test ./internal/sim -bench ChanPingPong -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/sim/simbench"
+)
+
+func BenchmarkKernelSleep(b *testing.B)          { simbench.Sleep(b) }
+func BenchmarkKernelSleepContended(b *testing.B) { simbench.SleepContended(b) }
+func BenchmarkKernelSpawn(b *testing.B)          { simbench.Spawn(b) }
+func BenchmarkChanPingPong(b *testing.B)         { simbench.ChanPingPong(b) }

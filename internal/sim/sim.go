@@ -36,12 +36,18 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled occurrence: at time t, fn runs in scheduler context.
-// fn typically resumes a parked process.
+// event is a scheduled occurrence. At time t either fn runs in scheduler
+// context (generic callbacks: At, AfterFunc) or, when fn is nil, the parked
+// process p is resumed with msg. The dedicated resume form is the hot path —
+// Sleep, channel wake-ups, and spawn starts all use it — and avoids
+// allocating a fresh closure per schedule. Fired events are recycled through
+// Env.free, so steady-state scheduling allocates nothing.
 type event struct {
 	t   Time
 	seq int64
-	fn  func()
+	fn  func() // generic callback; nil for resume events
+	p   *Proc  // resume target when fn is nil
+	msg resumeMsg
 }
 
 type eventHeap []*event
@@ -81,10 +87,17 @@ type Env struct {
 	stopped bool
 	limit   Time // run-until horizon; 0 means none
 
+	free []*event // recycled fired events, capped at maxFreeEvents
+
 	tracing bool
 	trace   []TraceEvent
-	spawned []*Proc
+	spawned []*Proc // procs visible to BlockedProcs; compacted as procs exit
+	exited  int     // exited procs still occupying a spawned slot
 }
+
+// maxFreeEvents caps the recycle pool; beyond this, fired events are left
+// for the GC. The cap bounds kernel memory on runs with huge event bursts.
+const maxFreeEvents = 1024
 
 // NewEnv returns an empty environment at time 0.
 func NewEnv() *Env {
@@ -94,15 +107,57 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// schedule enqueues fn to run at time t (>= now) in scheduler context.
-func (e *Env) schedule(t Time, fn func()) *event {
+// newEvent takes an event from the recycle pool (or allocates one) and
+// stamps it with the clamped time and the next sequence number.
+func (e *Env) newEvent(t Time) *event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &event{t: t, seq: e.seq, fn: fn}
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.t, ev.seq = t, e.seq
+		return ev
+	}
+	return &event{t: t, seq: e.seq}
+}
+
+// recycle clears a fired event and returns it to the pool.
+func (e *Env) recycle(ev *event) {
+	ev.fn, ev.p, ev.msg = nil, nil, resumeMsg{}
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
+}
+
+// schedule enqueues fn to run at time t (>= now) in scheduler context.
+func (e *Env) schedule(t Time, fn func()) {
+	ev := e.newEvent(t)
+	ev.fn = fn
 	e.events.pushEv(ev)
-	return ev
+}
+
+// scheduleResume enqueues "resume p with msg" at time t without allocating
+// a closure. Resuming an exited process is a no-op, so callers need not
+// guard against the target dying first.
+func (e *Env) scheduleResume(t Time, p *Proc, msg resumeMsg) {
+	ev := e.newEvent(t)
+	ev.p, ev.msg = p, msg
+	e.events.pushEv(ev)
+}
+
+// fire dispatches a dequeued event. The event is recycled first (its fields
+// are copied out), so callbacks may immediately reuse the slot.
+func (e *Env) fire(ev *event) {
+	fn, p, msg := ev.fn, ev.p, ev.msg
+	e.recycle(ev)
+	if fn != nil {
+		fn()
+		return
+	}
+	e.resume(p, msg)
 }
 
 // At schedules fn to run at the given virtual time. fn runs in scheduler
@@ -163,6 +218,7 @@ func (e *Env) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			p.exited = true
 			e.nprocs--
+			e.noteExit()
 			if r := recover(); r != nil {
 				if _, ok := r.(Interrupted); ok {
 					e.parkCh <- struct{}{}
@@ -179,8 +235,31 @@ func (e *Env) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.schedule(e.now.After(d), func() { e.resume(p, resumeMsg{}) })
+	e.scheduleResume(e.now.After(d), p, resumeMsg{})
 	return p
+}
+
+// noteExit records a process exit and compacts e.spawned once exited procs
+// dominate it, so long soak runs that spawn millions of short-lived procs
+// keep BlockedProcs bookkeeping bounded by the number of live procs. It runs
+// on the exiting proc's goroutine before control returns to the scheduler,
+// the same discipline under which Spawn appends.
+func (e *Env) noteExit() {
+	e.exited++
+	if e.exited < 64 || e.exited*2 < len(e.spawned) {
+		return
+	}
+	live := e.spawned[:0]
+	for _, q := range e.spawned {
+		if !q.exited {
+			live = append(live, q)
+		}
+	}
+	for i := len(live); i < len(e.spawned); i++ {
+		e.spawned[i] = nil
+	}
+	e.spawned = live
+	e.exited = 0
 }
 
 // resume hands control to p and blocks until p parks again or exits.
@@ -206,12 +285,29 @@ func (p *Proc) park() resumeMsg {
 }
 
 // Sleep advances the process by d of virtual time.
+//
+// Fast path: when p is the running process and its wake-up would be the very
+// next event to fire (no other event is due at or before the wake time, no
+// Stop or RunUntil horizon intervenes), the kernel advances the clock and
+// returns directly — the outcome is identical to parking, having the
+// scheduler pop the wake event, and resuming, but without the two channel
+// handoffs or the heap traffic. Pending same-instant events (including
+// Interrupts, which are scheduled at the current time) always have an
+// earlier (time, seq) position and therefore disable the fast path, so
+// event ordering is preserved exactly.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
 	env := p.env
-	env.schedule(env.now.After(d), func() { env.resume(p, resumeMsg{}) })
+	t := env.now.After(d)
+	if env.running == p && !env.stopped && (env.limit == 0 || t <= env.limit) &&
+		(len(env.events) == 0 || env.events.peek().t > t) {
+		env.seq++ // account for the wake event this path elides
+		env.now = t
+		return
+	}
+	env.scheduleResume(t, p, resumeMsg{})
 	p.park()
 }
 
@@ -226,12 +322,7 @@ func (p *Proc) Interrupt() {
 	if p.exited {
 		return
 	}
-	env := p.env
-	env.schedule(env.now, func() {
-		if !p.exited {
-			env.resume(p, resumeMsg{interrupted: true})
-		}
-	})
+	p.env.scheduleResume(p.env.now, p, resumeMsg{interrupted: true})
 }
 
 // Run drives the simulation until no events remain or Stop is called.
@@ -258,7 +349,7 @@ func (e *Env) loop() Time {
 		}
 		ev := e.events.popEv()
 		e.now = ev.t
-		ev.fn()
+		e.fire(ev)
 	}
 	return e.now
 }

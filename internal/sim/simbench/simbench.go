@@ -1,0 +1,115 @@
+// Package simbench holds the kernel microbenchmark bodies shared by the
+// internal/sim benchmark tests and the molecule-bench CLI (-json mode runs
+// them via testing.Benchmark to pin ns/op and allocs/op in BENCH_kernel.json).
+//
+// Each body is a closed simulation: it builds a fresh Env, runs b.N
+// operations of one kernel primitive, and drains the environment, so the
+// numbers isolate kernel overhead from workload logic.
+package simbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Result is one microbenchmark outcome in machine-readable form.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Sleep measures the cost of one Sleep/resume cycle for a lone process —
+// the kernel's hottest path: every simulated delay in every component goes
+// through it.
+func Sleep(b *testing.B) {
+	b.ReportAllocs()
+	env := sim.NewEnv()
+	env.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// SleepContended measures Sleep/resume with two processes interleaving, so
+// every wake-up takes the full park/resume handoff through the scheduler
+// rather than any lone-sleeper fast path.
+func SleepContended(b *testing.B) {
+	b.ReportAllocs()
+	env := sim.NewEnv()
+	for _, name := range []string{"a", "b"} {
+		env.Spawn(name, func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	env.Run()
+}
+
+// Spawn measures process creation + exit, including the kernel's bookkeeping
+// of spawned processes (long soak runs spawn millions).
+func Spawn(b *testing.B) {
+	b.ReportAllocs()
+	env := sim.NewEnv()
+	env.Spawn("spawner", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Env().Spawn("child", func(c *sim.Proc) {})
+			p.Yield() // let the child run and exit before the next spawn
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// ChanPingPong measures one rendezvous Send/Recv pair between two processes,
+// the backbone of every simulated IPC path (XPU-Shim calls, executor queues).
+func ChanPingPong(b *testing.B) {
+	b.ReportAllocs()
+	env := sim.NewEnv()
+	ch := sim.NewChan[int](env, 0)
+	env.Spawn("pinger", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			ch.Send(p, i)
+		}
+	})
+	env.Spawn("ponger", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			ch.Recv(p)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// All runs every kernel microbenchmark through testing.Benchmark and returns
+// the results. Used by molecule-bench -json.
+func All() []Result {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"KernelSleep", Sleep},
+		{"KernelSleepContended", SleepContended},
+		{"KernelSpawn", Spawn},
+		{"ChanPingPong", ChanPingPong},
+	}
+	out := make([]Result, 0, len(benches))
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		out = append(out, Result{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
