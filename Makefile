@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench microbench perfjson report report-md golden examples clean
+.PHONY: all check build vet test race bench microbench perfjson report report-md golden trace-demo examples clean
 
 all: check
 
@@ -43,6 +43,12 @@ report-md:
 # Rewrite the golden experiment report after an intentional calibration change.
 golden:
 	$(GO) test ./internal/bench -run Golden -update
+
+# Run the quickstart workload with observability attached and write an
+# example Chrome trace (load trace-demo.json in Perfetto or chrome://tracing)
+# plus its Prometheus metrics.
+trace-demo:
+	$(GO) run ./cmd/molecule-bench -trace trace-demo.json -metrics metrics-demo.txt
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -41,6 +42,44 @@ type expTiming struct {
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
+// runObsDemo executes the quickstart workload with observability attached
+// and writes the requested exports.
+func runObsDemo(tracePath, metricsPath string) error {
+	o, err := bench.ObsDemo()
+	if err != nil {
+		return err
+	}
+	write := func(path string, render func(w io.Writer) error) error {
+		if path == "-" {
+			return render(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+	if tracePath != "" {
+		if err := write(tracePath, o.Tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		if err := write(metricsPath, o.Metrics.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment id(s) to run, comma separated (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -48,7 +87,17 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = sequential; output is identical either way)")
 	timing := flag.Bool("timing", false, "append per-experiment wall time and total after the report")
 	jsonPath := flag.String("json", "", "with -timing: also run the kernel microbenchmarks and write a machine-readable snapshot to this `file`")
+	tracePath := flag.String("trace", "", "run the observability demo workload and write its Chrome trace JSON to this `file` (\"-\" = stdout), then exit")
+	metricsPath := flag.String("metrics", "", "run the observability demo workload and write its Prometheus metrics to this `file` (\"-\" = stdout), then exit")
 	flag.Parse()
+
+	if *tracePath != "" || *metricsPath != "" {
+		if err := runObsDemo(*tracePath, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {

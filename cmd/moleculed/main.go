@@ -27,12 +27,18 @@ func main() {
 	fpgas := flag.Int("fpgas", 1, "FPGAs")
 	gpus := flag.Int("gpus", 0, "GPUs")
 	fnFile := flag.String("functions", "", "JSON file with custom function specs")
+	trace := flag.Bool("trace", false, "record invocation spans; GET /trace serves Chrome trace_event JSON")
+	metrics := flag.Bool("metrics", false, "record metrics; GET /metrics serves Prometheus text exposition")
 	flag.Parse()
 
 	s, err := httpd.NewServer(hw.Config{DPUs: *dpus, FPGAs: *fpgas, GPUs: *gpus},
 		molecule.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *trace || *metrics {
+		s.EnableObservability()
+		log.Printf("observability on: GET /metrics (Prometheus text), GET /trace (Chrome trace JSON)")
 	}
 	if *fnFile != "" {
 		data, err := os.ReadFile(*fnFile)

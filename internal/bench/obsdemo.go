@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ObsDemo runs the quickstart workload — cold then warm helloworld, a
+// DPU-pinned invoke, and a scatter-placed two-function chain — with
+// observability attached, and returns the observer for export. The span
+// tree covers the full invocation path (gateway-less here: invoke →
+// placement → nIPC → sandbox → handler), and the chain's cross-PU FIFO
+// traffic populates the per-link nIPC counters. The regular experiments
+// never attach an observer, so their golden report bytes are unaffected.
+func ObsDemo() (*obs.Observer, error) {
+	var o *obs.Observer
+	var demoErr error
+	sandboxed(func(p *sim.Proc) {
+		rt := newMolecule(p, hw.Config{DPUs: 1, FPGAs: 1}, molecule.DefaultOptions())
+		o = obs.New(p.Env())
+		rt.SetObserver(o)
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+
+		if demoErr = rt.Deploy(p, "helloworld",
+			molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); demoErr != nil {
+			return
+		}
+		// Cold start on the host, then a warm hit on the same instance.
+		if _, demoErr = rt.Invoke(p, "helloworld", molecule.DefaultInvokeOptions()); demoErr != nil {
+			return
+		}
+		if _, demoErr = rt.Invoke(p, "helloworld", molecule.DefaultInvokeOptions()); demoErr != nil {
+			return
+		}
+		// A DPU-pinned cold start sends executor commands over the
+		// interconnect (the nipc.command span).
+		if _, demoErr = rt.Invoke(p, "helloworld", molecule.InvokeOptions{PU: dpu}); demoErr != nil {
+			return
+		}
+		// A chain scattered across host and DPU drives request/response
+		// payloads through XPU-FIFOs, filling the per-link byte counters.
+		pair := []string{"alexa-frontend", "alexa-interact"}
+		for _, fn := range pair {
+			if demoErr = rt.Deploy(p, fn,
+				molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); demoErr != nil {
+				return
+			}
+		}
+		if _, demoErr = rt.InvokeChain(p, pair, molecule.ChainOptions{Placement: []hw.PUID{0, dpu}}); demoErr != nil {
+			return
+		}
+	})
+	if demoErr != nil {
+		return nil, fmt.Errorf("bench: observability demo: %w", demoErr)
+	}
+	return o, nil
+}

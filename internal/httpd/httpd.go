@@ -21,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/hw"
 	"repro/internal/molecule"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -46,6 +47,18 @@ func NewServer(cfg hw.Config, opts molecule.Options) (*Server, error) {
 		return nil, err
 	}
 	return &Server{env: env, rt: rt}, nil
+}
+
+// EnableObservability attaches a span tracer and metrics registry to the
+// server's runtime and returns it. /metrics and /trace serve its state;
+// without this call both endpoints return 404 and invocations record
+// nothing.
+func (s *Server) EnableObservability() *obs.Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := obs.New(s.env)
+	s.rt.SetObserver(o)
+	return o
 }
 
 // LoadFunctions registers custom JSON-defined workloads (see
@@ -75,7 +88,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("POST /experiments/{id}", s.handleRunExperiment)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	return mux
+}
+
+// handleMetrics serves the metrics registry in the Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.rt.Observer()
+	if o == nil {
+		http.Error(w, "observability disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	o.Metrics.WritePrometheus(w)
+}
+
+// handleTrace serves the recorded span tree as Chrome trace_event JSON
+// (loadable in Perfetto or chrome://tracing).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.rt.Observer()
+	if o == nil {
+		http.Error(w, "observability disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.Tracer.WriteChromeTrace(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -181,7 +224,13 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 	var res molecule.Result
 	var invErr error
-	s.drive(func(p *sim.Proc) { res, invErr = s.rt.Invoke(p, fn, opts) })
+	s.drive(func(p *sim.Proc) {
+		gw := s.rt.Observer().Span(nil, "gateway.request", int(s.rt.HostID()))
+		gw.SetAttr("fn", fn)
+		opts.Span = gw
+		res, invErr = s.rt.Invoke(p, fn, opts)
+		gw.Finish()
+	})
 	if invErr != nil {
 		writeErr(w, http.StatusBadRequest, invErr)
 		return

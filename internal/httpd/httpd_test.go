@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -150,6 +151,96 @@ func TestStatsAndFunctions(t *testing.T) {
 	_, fns := get(t, ts, "/functions")
 	if len(fns["functions"].([]any)) < 20 {
 		t.Error("registry listing too small")
+	}
+}
+
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	s, err := NewServer(hw.Config{DPUs: 1, FPGAs: 1}, molecule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableObservability()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	post(t, ts, "/deploy", url.Values{"fn": {"helloworld"}})
+	post(t, ts, "/invoke", url.Values{"fn": {"helloworld"}}) // cold
+	post(t, ts, "/invoke", url.Values{"fn": {"helloworld"}}) // warm
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	out := string(raw)
+	// Exposition-format checks: HELP/TYPE lines, counter series with label
+	// sets, and histogram buckets with the le label.
+	for _, want := range []string{
+		"# HELP molecule_cold_starts_total",
+		"# TYPE molecule_cold_starts_total counter",
+		`molecule_cold_starts_total{fn="helloworld",pu="0"} 1`,
+		`molecule_warm_hits_total{fn="helloworld",pu="0"} 1`,
+		"# TYPE molecule_invoke_latency_seconds histogram",
+		`molecule_invoke_latency_seconds_bucket{pu="0",le="+Inf"} 2`,
+		`molecule_invoke_latency_seconds_count{pu="0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, " ") {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// /trace serves the gateway-rooted span tree as valid Chrome trace JSON.
+	tresp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace: %d", tresp.StatusCode)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&file); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	names := make(map[string]int)
+	for _, ev := range file.TraceEvents {
+		names[ev.Name]++
+	}
+	for _, want := range []string{"gateway.request", "invoke", "sandbox.acquire", "handler"} {
+		if names[want] == 0 {
+			t.Errorf("/trace missing %q span (got %v)", want, names)
+		}
+	}
+}
+
+func TestMetricsDisabledBy404(t *testing.T) {
+	ts := newTestServer(t) // no EnableObservability
+	for _, path := range []string{"/metrics", "/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without observability: %d, want 404", path, resp.StatusCode)
+		}
 	}
 }
 

@@ -37,7 +37,9 @@ func (r *Recorder) Avg() time.Duration {
 	return sum / time.Duration(len(r.samples))
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) by nearest-rank.
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// p <= 0 returns the minimum sample (so Min is Percentile(0)), p >= 100 the
+// maximum, and an empty recorder returns 0 for any p.
 func (r *Recorder) Percentile(p float64) time.Duration {
 	if len(r.samples) == 0 {
 		return 0
@@ -64,6 +66,22 @@ func (r *Recorder) Min() time.Duration { return r.Percentile(0) }
 
 // Max returns the largest sample.
 func (r *Recorder) Max() time.Duration { return r.Percentile(100) }
+
+// Merge appends all of other's samples into r. Other is unchanged; merging
+// a nil or empty recorder is a no-op.
+func (r *Recorder) Merge(other *Recorder) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	r.samples = append(r.samples, other.samples...)
+	r.sorted = false
+}
+
+// Reset drops all samples, keeping the allocated capacity for reuse.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+}
 
 // Summary formats the avg/p50/p75/p90/p95/p99 line used by the artifact's
 // result reports.

@@ -70,6 +70,74 @@ func TestPercentileProperty(t *testing.T) {
 	}
 }
 
+func TestPercentileBoundaries(t *testing.T) {
+	var empty Recorder
+	for _, p := range []float64{0, 50, 100} {
+		if empty.Percentile(p) != 0 {
+			t.Errorf("empty recorder p%v = %v, want 0", p, empty.Percentile(p))
+		}
+	}
+	var one Recorder
+	one.Add(7 * time.Millisecond)
+	for _, p := range []float64{0, 0.001, 50, 100, 250} {
+		if one.Percentile(p) != 7*time.Millisecond {
+			t.Errorf("single-sample p%v = %v, want 7ms", p, one.Percentile(p))
+		}
+	}
+	var r Recorder
+	for _, d := range []time.Duration{30, 10, 20} {
+		r.Add(d * time.Millisecond)
+	}
+	// p=0 is documented as the minimum (what Min delegates to), p=100 the
+	// maximum, and out-of-range p clamps rather than panicking.
+	if r.Percentile(0) != 10*time.Millisecond {
+		t.Errorf("p0 = %v, want min 10ms", r.Percentile(0))
+	}
+	if r.Percentile(-5) != 10*time.Millisecond {
+		t.Errorf("p-5 = %v, want min 10ms", r.Percentile(-5))
+	}
+	if r.Percentile(100) != 30*time.Millisecond {
+		t.Errorf("p100 = %v, want max 30ms", r.Percentile(100))
+	}
+	if r.Percentile(200) != 30*time.Millisecond {
+		t.Errorf("p200 = %v, want max 30ms", r.Percentile(200))
+	}
+}
+
+func TestRecorderMergeAndReset(t *testing.T) {
+	var a, b Recorder
+	a.Add(10 * time.Millisecond)
+	a.Add(20 * time.Millisecond)
+	a.Percentile(50) // sorts a; Merge must invalidate the sort
+	b.Add(5 * time.Millisecond)
+	b.Add(40 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	if a.Min() != 5*time.Millisecond || a.Max() != 40*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	// The source recorder is unchanged.
+	if b.Count() != 2 || b.Min() != 5*time.Millisecond {
+		t.Errorf("merge mutated source: count=%d min=%v", b.Count(), b.Min())
+	}
+	// Merging nil and empty recorders is a no-op.
+	a.Merge(nil)
+	a.Merge(&Recorder{})
+	if a.Count() != 4 {
+		t.Errorf("no-op merges changed count to %d", a.Count())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Avg() != 0 || a.Percentile(50) != 0 {
+		t.Error("reset did not empty the recorder")
+	}
+	a.Add(3 * time.Millisecond)
+	if a.Count() != 1 || a.Min() != 3*time.Millisecond {
+		t.Error("recorder unusable after reset")
+	}
+}
+
 func TestSummaryFormat(t *testing.T) {
 	var r Recorder
 	r.Add(6400 * time.Microsecond)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -139,6 +140,9 @@ func (a *AutoScaler) obtain(p *sim.Proc) (*Resident, error) {
 		}
 		a.total++
 		a.scaleOuts++
+		if o := a.rt.obs; o != nil {
+			o.Counter("molecule_autoscale_scale_outs_total", obs.L("fn", a.fn)).Inc()
+		}
 		if a.total > a.maxObserved {
 			a.maxObserved = a.total
 		}
@@ -180,6 +184,9 @@ func (a *AutoScaler) ShrinkIdle(p *sim.Proc) int {
 		r.Stop(p)
 		a.total--
 		a.scaleIns++
+		if o := a.rt.obs; o != nil {
+			o.Counter("molecule_autoscale_scale_ins_total", obs.L("fn", a.fn)).Inc()
+		}
 		retired++
 	}
 	return retired

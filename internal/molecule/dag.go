@@ -160,7 +160,7 @@ func (rt *Runtime) InvokeChain(p *sim.Proc, names []string, opts ChainOptions) (
 		if pin < 0 {
 			pin = rt.hostID
 		}
-		inst, cold, err := rt.acquire(p, d, pin, false)
+		inst, cold, err := rt.acquire(p, d, pin, false, nil)
 		if err != nil {
 			return ChainResult{}, err
 		}
@@ -350,7 +350,7 @@ func (rt *Runtime) InvokeAccelChain(p *sim.Proc, names []string, opts AccelChain
 			}
 		} else {
 			// General-purpose stage on the host: warm instance + dispatch.
-			inst, cold, err := rt.acquire(p, st.d, rt.hostID, false)
+			inst, cold, err := rt.acquire(p, st.d, rt.hostID, false, nil)
 			if err != nil {
 				return ChainResult{}, err
 			}

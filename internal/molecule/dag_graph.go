@@ -152,7 +152,7 @@ func (rt *Runtime) InvokeDAG(p *sim.Proc, dag DAG, opts DAGOptions) (DAGResult, 
 		if pin < 0 {
 			pin = rt.hostID
 		}
-		inst, cold, err := rt.acquire(p, d, pin, false)
+		inst, cold, err := rt.acquire(p, d, pin, false, nil)
 		if err != nil {
 			return DAGResult{}, err
 		}

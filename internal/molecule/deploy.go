@@ -194,7 +194,7 @@ func (rt *Runtime) extendFPGAImages(p *sim.Proc, funcName string) error {
 // reprogramFPGA flushes the node's current vector as one image and starts
 // (preps) every member so subsequent requests are warm.
 func (rt *Runtime) reprogramFPGA(p *sim.Proc, n *puNode) error {
-	rt.remoteCommand(p, n.pu.ID)
+	rt.remoteCommand(p, n.pu.ID, nil)
 	specs := make([]sandbox.Spec, 0, len(n.fpgaVector))
 	ids := make([]string, 0, len(n.fpgaVector))
 	for _, fn := range n.fpgaVector {
@@ -236,7 +236,7 @@ func (rt *Runtime) loadGPUKernel(p *sim.Proc, funcName string) error {
 		}
 		n.sandboxSeq++
 		id := fmt.Sprintf("gpu-%s-%d", funcName, n.sandboxSeq)
-		rt.remoteCommand(p, n.pu.ID)
+		rt.remoteCommand(p, n.pu.ID, nil)
 		if err := n.rung.Create(p, []sandbox.Spec{{ID: id, FuncID: funcName}}); err != nil {
 			return err
 		}

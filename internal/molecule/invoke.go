@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/sandbox"
 	"repro/internal/sim"
@@ -34,6 +35,10 @@ type InvokeOptions struct {
 	// RunBody executes the function's real Go body and stores its output in
 	// the result.
 	RunBody bool
+	// Span, when observability is attached, parents the invocation's span
+	// tree under an enclosing span (e.g. the HTTP gateway's request span).
+	// Nil starts a new root.
+	Span *obs.Span
 }
 
 // DefaultInvokeOptions lets placement choose the PU.
@@ -83,9 +88,13 @@ func (rt *Runtime) Invoke(p *sim.Proc, funcName string, opts InvokeOptions) (Res
 // invokeGeneral serves the request on a CPU or DPU container instance.
 func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
 	start := p.Now()
+	root := rt.obs.Span(opts.Span, "invoke", int(rt.hostID))
+	root.SetAttr("fn", d.Fn.Name)
 	p.Tracef("invoke %s: request accepted", d.Fn.Name)
-	inst, cold, err := rt.acquire(p, d, opts.PU, opts.ForceCold)
+	inst, cold, err := rt.acquire(p, d, opts.PU, opts.ForceCold, root)
 	if err != nil {
+		root.SetAttr("error", err.Error())
+		root.Finish()
 		return Result{}, err
 	}
 	if cold {
@@ -104,7 +113,15 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions)
 	if !cold {
 		p.Sleep(params.WarmDispatchTime)
 	}
+	hs := rt.obs.Span(root, "handler", int(inst.node.pu.ID))
+	if inst.forked && inst.sb.Inst.COWPending {
+		hs.SetAttr("cow", "1")
+		if o := rt.obs; o != nil {
+			o.Counter("sandbox_cow_faults_total", puLabel(inst.node.pu.ID)).Inc()
+		}
+	}
 	inst.sb.Inst.Invoke(p, rt.jitter(d.Fn.CPUCost(opts.Arg)), inst.forked)
+	hs.Finish()
 	res := Result{
 		Fn: d.Fn.Name, PU: inst.node.pu.ID, Kind: inst.node.pu.Kind, Cold: cold,
 		Startup: startupDone.Sub(start),
@@ -112,6 +129,11 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions)
 		Handler: inst.node.pu.ComputeTime(d.Fn.CPUCost(opts.Arg)),
 		Total:   p.Now().Sub(start),
 	}
+	if cold {
+		root.SetAttr("cold", "1")
+	}
+	root.SetAttr("pu", fmt.Sprintf("%d", inst.node.pu.ID))
+	root.Finish() // root span duration == res.Total by construction
 	if opts.RunBody && d.Fn.Body != nil {
 		out, err := d.Fn.Body(opts.Arg)
 		if err != nil {
@@ -125,25 +147,54 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions)
 	p.Tracef("invoke %s: done in %v (exec %v)", d.Fn.Name, res.Total, res.Exec)
 	pr, _ := d.ProfileFor(inst.node.pu.Kind)
 	rt.bill.Record(d.Fn.Name, inst.node.pu.Kind, res.Total, pr.PricePerMs)
+	rt.recordInvocation(d.Fn.Name, inst.node.pu, res)
 	return res, nil
+}
+
+// recordInvocation updates the per-invocation metric series (no-op with
+// observability detached).
+func (rt *Runtime) recordInvocation(fn string, pu *hw.PU, res Result) {
+	o := rt.obs
+	if o == nil {
+		return
+	}
+	pl := puLabel(pu.ID)
+	o.Counter("molecule_invocations_total", obs.L("fn", fn), pl, obs.L("kind", pu.Kind.String())).Inc()
+	o.Histogram("molecule_invoke_latency_seconds", pl).Observe(res.Total)
 }
 
 // acquire returns a ready instance: a warm-pool hit, or a cold start via
 // cfork (or plain boot when cfork is disabled). Each cold start refreshes
 // the function's recreation cost in the greedy-dual keep-alive policy, so
 // expensive-to-recreate functions win cache space.
-func (rt *Runtime) acquire(p *sim.Proc, d *Deployment, pin hw.PUID, forceCold bool) (*instance, bool, error) {
+func (rt *Runtime) acquire(p *sim.Proc, d *Deployment, pin hw.PUID, forceCold bool, parent *obs.Span) (*instance, bool, error) {
+	sp := rt.obs.Span(parent, "sandbox.acquire", -1)
 	if !forceCold {
 		if inst := rt.popWarm(d.Fn.Name, pin); inst != nil {
+			sp.SetAttr("path", "warm")
+			sp.SetPU(int(inst.node.pu.ID))
+			sp.Finish()
+			if o := rt.obs; o != nil {
+				o.Counter("molecule_warm_hits_total", puLabel(inst.node.pu.ID), obs.L("fn", d.Fn.Name)).Inc()
+			}
 			return inst, false, nil
 		}
 	}
 	start := p.Now()
-	inst, err := rt.coldStart(p, d, pin)
+	inst, err := rt.coldStart(p, d, pin, sp)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.Finish()
 		return nil, false, err
 	}
 	rt.cache.setCost(d.Fn.Name, p.Now().Sub(start).Seconds()*1000)
+	sp.SetAttr("path", "cold")
+	sp.SetPU(int(inst.node.pu.ID))
+	sp.Finish()
+	if o := rt.obs; o != nil {
+		o.Counter("molecule_cold_starts_total", puLabel(inst.node.pu.ID), obs.L("fn", d.Fn.Name)).Inc()
+		o.Histogram("molecule_startup_latency_seconds", puLabel(inst.node.pu.ID)).Observe(p.Now().Sub(start))
+	}
 	return inst, true, nil
 }
 
@@ -173,12 +224,17 @@ func (rt *Runtime) popWarm(fn string, pin hw.PUID) *instance {
 // With cfork, Molecule forks from a dedicated template (code and
 // dependencies preloaded, §4.2), so the per-function dependency import is
 // off the critical path; plain boots pay it.
-func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID) (*instance, error) {
+func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID, parent *obs.Span) (*instance, error) {
+	ps := rt.obs.Span(parent, "placement", -1)
 	n, err := rt.placeGeneral(d, pin)
 	if err != nil {
+		ps.SetAttr("error", err.Error())
+		ps.Finish()
 		return nil, err
 	}
-	rt.remoteCommand(p, n.pu.ID)
+	ps.SetAttr("pu", fmt.Sprintf("%d", n.pu.ID))
+	ps.Finish()
+	rt.remoteCommand(p, n.pu.ID, parent)
 	if !rt.Opts.UseCfork && rt.Opts.Startup == StartupSnapshot {
 		return rt.restoreFromSnapshot(p, d, n)
 	}
@@ -193,12 +249,18 @@ func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID) (*instance
 	n.sandboxSeq++
 	id := fmt.Sprintf("c-%s-%d-%d", d.Fn.Name, n.pu.ID, n.sandboxSeq)
 	p.Tracef("coldstart %s: creating sandbox %s on PU %d", d.Fn.Name, id, n.pu.ID)
+	cs := rt.obs.Span(parent, "sandbox.create", int(n.pu.ID))
 	if err := sandbox.CreateOne(p, n.cr, sandbox.Spec{ID: id, FuncID: d.Fn.Name, Lang: d.Fn.Lang}); err != nil {
+		cs.Finish()
 		return nil, err
 	}
+	cs.Finish()
+	ss := rt.obs.Span(parent, "sandbox.start", int(n.pu.ID))
 	if err := sandbox.StartOne(p, n.cr, id); err != nil {
+		ss.Finish()
 		return nil, err
 	}
+	ss.Finish()
 	p.Tracef("coldstart %s: sandbox %s running", d.Fn.Name, id)
 	// Dedicated templates preload each hot function's dependencies (§4.2),
 	// keeping the import off the critical path; plain boots — and cforks
@@ -259,6 +321,9 @@ func (rt *Runtime) release(p *sim.Proc, inst *instance) {
 	n.warm[inst.fn] = append(n.warm[inst.fn], inst)
 	evict := rt.cache.admit(inst.fn, n)
 	for _, victim := range evict {
+		if o := rt.obs; o != nil {
+			o.Counter("molecule_keepalive_evictions_total", puLabel(victim.node.pu.ID), obs.L("fn", victim.fn)).Inc()
+		}
 		rt.destroy(p, victim)
 	}
 }
@@ -285,7 +350,7 @@ func (rt *Runtime) AcquireHeld(p *sim.Proc, funcName string, pin hw.PUID) (*inst
 	if err != nil {
 		return nil, err
 	}
-	inst, _, err := rt.acquire(p, d, pin, false)
+	inst, _, err := rt.acquire(p, d, pin, false, nil)
 	return inst, err
 }
 
@@ -295,23 +360,34 @@ func (rt *Runtime) ReleaseHeld(p *sim.Proc, inst *instance) { rt.release(p, inst
 // invokeFPGA serves the request on the function's FPGA sandbox.
 func (rt *Runtime) invokeFPGA(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
 	start := p.Now()
+	root := rt.obs.Span(opts.Span, "invoke", int(rt.hostID))
+	root.SetAttr("fn", d.Fn.Name)
 	n, id, err := rt.fpgaSandboxFor(d.Fn.Name)
 	if err != nil {
 		// Image miss: (re)extend the vectorized image — the cold path.
+		es := rt.obs.Span(root, "fpga.extend_image", -1)
 		if err := rt.extendFPGAImages(p, d.Fn.Name); err != nil {
+			es.Finish()
+			root.Finish()
 			return Result{}, err
 		}
+		es.Finish()
 		n, id, err = rt.fpgaSandboxFor(d.Fn.Name)
 		if err != nil {
+			root.Finish()
 			return Result{}, err
 		}
 	}
 	startupDone := p.Now()
 	argB, resB := d.Fn.Sizes(opts.Arg)
 	execStart := p.Now()
+	hs := rt.obs.Span(root, "handler", int(n.pu.ID))
 	if err := n.runf.Invoke(p, id, argB, resB, d.Fn.FabricCost(opts.Arg), sandbox.InvokeOptions{}); err != nil {
+		hs.Finish()
+		root.Finish()
 		return Result{}, err
 	}
+	hs.Finish()
 	res := Result{
 		Fn: d.Fn.Name, PU: n.pu.ID, Kind: hw.FPGA,
 		Cold:    startupDone != start,
@@ -320,6 +396,8 @@ func (rt *Runtime) invokeFPGA(p *sim.Proc, d *Deployment, opts InvokeOptions) (R
 		Handler: p.Now().Sub(execStart),
 		Total:   p.Now().Sub(start),
 	}
+	root.SetAttr("pu", fmt.Sprintf("%d", n.pu.ID))
+	root.Finish() // root span duration == res.Total by construction
 	n.busy += res.Exec
 	if opts.RunBody && d.Fn.Body != nil {
 		out, bodyErr := d.Fn.Body(opts.Arg)
@@ -330,28 +408,40 @@ func (rt *Runtime) invokeFPGA(p *sim.Proc, d *Deployment, opts InvokeOptions) (R
 	}
 	pr, _ := d.ProfileFor(hw.FPGA)
 	rt.bill.Record(d.Fn.Name, hw.FPGA, res.Total, pr.PricePerMs)
+	rt.recordInvocation(d.Fn.Name, n.pu, res)
 	return res, nil
 }
 
 // invokeGPU serves the request on the function's GPU sandbox.
 func (rt *Runtime) invokeGPU(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
 	start := p.Now()
+	root := rt.obs.Span(opts.Span, "invoke", int(rt.hostID))
+	root.SetAttr("fn", d.Fn.Name)
 	n, id, err := rt.gpuSandboxFor(d.Fn.Name)
 	if err != nil {
+		ls := rt.obs.Span(root, "gpu.load_kernel", -1)
 		if err := rt.loadGPUKernel(p, d.Fn.Name); err != nil {
+			ls.Finish()
+			root.Finish()
 			return Result{}, err
 		}
+		ls.Finish()
 		n, id, err = rt.gpuSandboxFor(d.Fn.Name)
 		if err != nil {
+			root.Finish()
 			return Result{}, err
 		}
 	}
 	startupDone := p.Now()
 	argB, resB := d.Fn.Sizes(opts.Arg)
 	execStart := p.Now()
+	hs := rt.obs.Span(root, "handler", int(n.pu.ID))
 	if err := n.rung.Invoke(p, id, argB, resB, d.Fn.GPUKernel); err != nil {
+		hs.Finish()
+		root.Finish()
 		return Result{}, err
 	}
+	hs.Finish()
 	res := Result{
 		Fn: d.Fn.Name, PU: n.pu.ID, Kind: hw.GPU,
 		Cold:    startupDone != start,
@@ -360,8 +450,11 @@ func (rt *Runtime) invokeGPU(p *sim.Proc, d *Deployment, opts InvokeOptions) (Re
 		Handler: p.Now().Sub(execStart),
 		Total:   p.Now().Sub(start),
 	}
+	root.SetAttr("pu", fmt.Sprintf("%d", n.pu.ID))
+	root.Finish() // root span duration == res.Total by construction
 	n.busy += res.Exec
 	pr, _ := d.ProfileFor(hw.GPU)
 	rt.bill.Record(d.Fn.Name, hw.GPU, res.Total, pr.PricePerMs)
+	rt.recordInvocation(d.Fn.Name, n.pu, res)
 	return res, nil
 }

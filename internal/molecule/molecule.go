@@ -13,11 +13,13 @@ package molecule
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/hw"
 	"repro/internal/lang"
 	"repro/internal/localos"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/sandbox"
 	"repro/internal/sim"
@@ -142,9 +144,56 @@ type Runtime struct {
 	cache *keepAlive
 	bill  *Billing
 
+	// obs is the observability layer; nil (the default) disables all span
+	// and metric recording at zero cost — every obs call site either
+	// nil-checks rt.obs first or calls a nil-safe obs method.
+	obs *obs.Observer
+
 	fifoSeq   int
 	jitterSeq uint64
 }
+
+// SetObserver attaches (or, with nil, detaches) the observability layer.
+// The observer is propagated to the XPU-Shim and every PU's sandbox
+// runtime, and the tracer learns the machine's PU names so exported traces
+// render one named track per PU.
+func (rt *Runtime) SetObserver(o *obs.Observer) {
+	rt.obs = o
+	rt.Shim.Obs = o
+	for _, n := range rt.orderedNodes() {
+		if n.cr != nil {
+			n.cr.Obs = o
+		}
+		if o != nil {
+			o.Tracer.NamePU(int(n.pu.ID), fmt.Sprintf("PU %d (%s %s)", n.pu.ID, n.pu.Kind, n.pu.Name))
+		}
+	}
+	if o != nil {
+		o.Metrics.SetHelp("molecule_invocations_total", "Completed invocations by function, PU, and PU kind.")
+		o.Metrics.SetHelp("molecule_cold_starts_total", "Invocations that cold-started an instance.")
+		o.Metrics.SetHelp("molecule_warm_hits_total", "Invocations served from the keep-alive warm pool.")
+		o.Metrics.SetHelp("molecule_invoke_latency_seconds", "End-to-end invocation latency in virtual time, by PU.")
+		o.Metrics.SetHelp("molecule_startup_latency_seconds", "Cold-start sandbox acquisition latency in virtual time, by PU.")
+		o.Metrics.SetHelp("molecule_keepalive_evictions_total", "Warm instances evicted by the greedy-dual keep-alive policy.")
+		o.Metrics.SetHelp("molecule_nipc_commands_total", "Control-plane executor commands sent over the interconnect, by target PU.")
+		o.Metrics.SetHelp("molecule_autoscale_scale_outs_total", "Autoscaler pool growth events, by function.")
+		o.Metrics.SetHelp("molecule_autoscale_scale_ins_total", "Autoscaler pool shrink events (residents retired), by function.")
+		o.Metrics.SetHelp("xpu_nipc_messages_total", "Cross-PU FIFO payloads by directed interconnect link.")
+		o.Metrics.SetHelp("xpu_nipc_bytes_total", "Cross-PU FIFO payload bytes by directed interconnect link.")
+		o.Metrics.SetHelp("xpu_fifo_depth", "Current queue depth of each XPU-FIFO.")
+		o.Metrics.SetHelp("sandbox_cfork_total", "Sandboxes started by forking a language template (§4.2).")
+		o.Metrics.SetHelp("sandbox_plain_boots_total", "Sandboxes started by cold-booting a fresh runtime.")
+		o.Metrics.SetHelp("sandbox_pool_hits_total", "Sandbox creations served from the prepared container pool.")
+		o.Metrics.SetHelp("sandbox_pool_misses_total", "Sandbox creations that built a container on the critical path.")
+		o.Metrics.SetHelp("sandbox_cow_faults_total", "Handler invocations that paid copy-on-write faults after cfork.")
+	}
+}
+
+// Observer returns the attached observability layer (nil when disabled).
+func (rt *Runtime) Observer() *obs.Observer { return rt.obs }
+
+// puLabel renders a PU ID as the standard {pu="N"} metric label.
+func puLabel(id hw.PUID) obs.Label { return obs.L("pu", strconv.Itoa(int(id))) }
 
 // New builds a Molecule runtime over the machine: one OS and shim node per
 // general-purpose PU, virtual shim nodes plus runf/rung for accelerators,
@@ -382,8 +431,9 @@ func (rt *Runtime) respawnExecutor(p *sim.Proc, n *puNode) error {
 // remoteCommand charges the control-plane cost of commanding an executor on
 // PU id: free on the host, nIPC + executor handling elsewhere (Fig 10a/b:
 // remote cfork adds ~1-3ms). A crashed executor is detected (command
-// timeout) and respawned before the command retries.
-func (rt *Runtime) remoteCommand(p *sim.Proc, id hw.PUID) {
+// timeout) and respawned before the command retries. parent, when tracing,
+// is the span the nIPC hop is recorded under.
+func (rt *Runtime) remoteCommand(p *sim.Proc, id hw.PUID, parent *obs.Span) {
 	if id == rt.hostID {
 		return
 	}
@@ -398,9 +448,14 @@ func (rt *Runtime) remoteCommand(p *sim.Proc, id hw.PUID) {
 	if target == rt.hostID {
 		return
 	}
+	sp := rt.obs.Span(parent, "nipc.command", int(target))
 	if _, err := rt.Machine.Transfer(p, rt.hostID, target, 256); err == nil {
 		p.Sleep(params.ExecutorCommandOverhead)
 		rt.Machine.Transfer(p, target, rt.hostID, 128)
+	}
+	sp.Finish()
+	if o := rt.obs; o != nil {
+		o.Counter("molecule_nipc_commands_total", puLabel(id)).Inc()
 	}
 }
 

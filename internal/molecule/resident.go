@@ -34,7 +34,7 @@ func (rt *Runtime) StartResident(p *sim.Proc, fn string, pu hw.PUID) (*Resident,
 	if err != nil {
 		return nil, err
 	}
-	inst, _, err := rt.acquire(p, d, pu, false)
+	inst, _, err := rt.acquire(p, d, pu, false, nil)
 	if err != nil {
 		return nil, err
 	}

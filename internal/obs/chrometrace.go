@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON Array
+// Format wrapped in an object, as Perfetto and chrome://tracing load it).
+// Field order is fixed by the struct; map-valued Args render with sorted
+// keys, so output bytes are deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`            // microseconds of virtual time
+	Dur  *float64          `json:"dur,omitempty"` // microseconds, complete events only
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTrackOffset shifts PU IDs so the shared track for PU-less spans
+// (PU == -1) gets tid 0 and PU n gets tid n+1.
+const chromeTrackOffset = 1
+
+func usec(t int64) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace exports the recorded spans as Chrome trace_event JSON:
+// one process, one thread track per PU (named via NamePU), each span a
+// complete ("ph":"X") event carrying its attrs plus span/parent IDs so the
+// tree is recoverable in the UI. Open spans export with zero duration.
+// Nil-safe: a nil Tracer writes an empty (but valid) trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		// Thread-name metadata first, in tid order.
+		tids := make([]int, 0, len(t.puNames))
+		for pu := range t.puNames {
+			tids = append(tids, pu)
+		}
+		sort.Ints(tids)
+		for _, pu := range tids {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: pu + chromeTrackOffset,
+				Args: map[string]string{"name": t.puNames[pu]},
+			})
+		}
+		for _, s := range t.spans {
+			dur := usec(int64(s.End - s.Start))
+			if s.open {
+				dur = 0
+			}
+			args := make(map[string]string, len(s.Attrs)+2)
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			args["span"] = strconv.FormatUint(uint64(s.ID), 10)
+			if s.Parent != 0 {
+				args["parent"] = strconv.FormatUint(uint64(s.Parent), 10)
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: s.Name, Ph: "X", Pid: 1, Tid: s.PU + chromeTrackOffset,
+				Ts: usec(int64(s.Start)), Dur: &dur, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promSeries is one line of exposition: the series name (family name plus
+// any _bucket/_sum/_count suffix), the rendered label block, and the value.
+type promSeries struct {
+	name   string
+	labels string
+	value  string
+}
+
+func labelBlock(ls []Label, extra ...Label) string {
+	all := append(append([]Label(nil), ls...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtFloat renders values the way Prometheus client libraries do (%g keeps
+// integers unsuffixed and small fractions readable).
+func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sort by name,
+// series by label set. Counters and gauges emit one line per series;
+// histograms emit cumulative _bucket lines (le in seconds, per convention)
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		typ    string
+		series []promSeries
+	}
+	fams := make(map[string]*family)
+	add := func(name, typ string, s promSeries) {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		f.series = append(f.series, s)
+	}
+	// Series keys embed the family name before the first 0xff separator.
+	for k, c := range r.counters {
+		name := familyName(k)
+		add(name, "counter", promSeries{name: name, labels: labelBlock(c.labels), value: fmt.Sprintf("%d", c.v)})
+	}
+	for k, g := range r.gauges {
+		name := familyName(k)
+		add(name, "gauge", promSeries{name: name, labels: labelBlock(g.labels), value: fmtFloat(g.v)})
+	}
+	for k, h := range r.hists {
+		name := familyName(k)
+		cum := int64(0)
+		for i, ub := range histBuckets {
+			cum += h.counts[i]
+			add(name, "histogram", promSeries{
+				name:   name + "_bucket",
+				labels: labelBlock(h.labels, L("le", fmtFloat(ub.Seconds()))),
+				value:  fmt.Sprintf("%d", cum),
+			})
+		}
+		add(name, "histogram", promSeries{
+			name:   name + "_bucket",
+			labels: labelBlock(h.labels, L("le", "+Inf")),
+			value:  fmt.Sprintf("%d", cum+h.inf),
+		})
+		add(name, "histogram", promSeries{name: name + "_sum", labels: labelBlock(h.labels), value: fmtFloat(h.sum.Seconds())})
+		add(name, "histogram", promSeries{name: name + "_count", labels: labelBlock(h.labels), value: fmt.Sprintf("%d", h.n)})
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if help := r.help[name]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		// Sort by (label set without le, series name); stable sort keeps one
+		// histogram's bucket lines in ascending-le insertion order.
+		sort.SliceStable(f.series, func(i, j int) bool {
+			return seriesSortKey(f.series[i]) < seriesSortKey(f.series[j])
+		})
+		for _, s := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesSortKey orders series within a family: primary key is the label
+// block with any le="..." pair stripped (one histogram's buckets stay
+// adjacent, in insertion order), secondary is the series name so _bucket,
+// _count, and _sum group predictably.
+func seriesSortKey(s promSeries) string {
+	labels := s.labels
+	if i := strings.Index(labels, `le="`); i >= 0 {
+		if j := strings.Index(labels[i+4:], `"`); j >= 0 {
+			labels = labels[:i] + labels[i+4+j+1:]
+		}
+	}
+	return labels + "\x00" + s.name
+}
+
+// familyName extracts the metric family name from a series key (the part
+// before the first 0xff label separator).
+func familyName(k string) string {
+	if i := strings.IndexByte(k, 0xff); i >= 0 {
+		return k[:i]
+	}
+	return k
+}

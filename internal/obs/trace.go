@@ -1,0 +1,173 @@
+package obs
+
+import "repro/internal/sim"
+
+// SpanID identifies a span within one Tracer. 0 is "no span" (the parent of
+// roots).
+type SpanID uint64
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one named interval of virtual time attributed to a PU, forming a
+// tree through Parent. Spans are created by Tracer.Start and closed by
+// Finish; an unfinished span has End == Start at export time semantics (it
+// exports with zero duration until finished).
+type Span struct {
+	ID     SpanID
+	Parent SpanID // 0 for root spans
+	Name   string
+	PU     int // processing-unit track; -1 inherits the parent's PU
+	Start  sim.Time
+	End    sim.Time
+	Attrs  []Attr
+
+	tr   *Tracer
+	open bool
+}
+
+// Tracer records a hierarchical span tree in virtual time. The zero value is
+// not usable; create one with NewTracer. A nil *Tracer is the disabled state.
+type Tracer struct {
+	env     *sim.Env
+	nextID  SpanID
+	spans   []*Span
+	puNames map[int]string
+}
+
+// NewTracer returns a Tracer stamping spans with env's virtual clock.
+func NewTracer(env *sim.Env) *Tracer {
+	return &Tracer{env: env, puNames: make(map[int]string)}
+}
+
+// NamePU registers a human-readable name for a PU track, used by the
+// Chrome-trace exporter's thread metadata.
+func (t *Tracer) NamePU(pu int, name string) {
+	if t == nil {
+		return
+	}
+	t.puNames[pu] = name
+}
+
+// Start opens a span named name on PU pu under parent (nil = root). pu == -1
+// inherits the parent's PU (or stays -1 on roots, rendering on a shared
+// track). Nil-safe: a nil Tracer returns a nil Span.
+func (t *Tracer) Start(parent *Span, name string, pu int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.nextID++
+	s := &Span{ID: t.nextID, Name: name, PU: pu, Start: t.env.Now(), tr: t, open: true}
+	if parent != nil {
+		s.Parent = parent.ID
+		if pu < 0 {
+			s.PU = parent.PU
+		}
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetPU reassigns the span's PU track — for spans whose PU is only known
+// after placement. Nil-safe.
+func (s *Span) SetPU(pu int) {
+	if s == nil {
+		return
+	}
+	s.PU = pu
+}
+
+// Finish closes the span at the current virtual time. Finishing twice, or
+// finishing a nil span, is a no-op.
+func (s *Span) Finish() {
+	if s == nil || !s.open {
+		return
+	}
+	s.open = false
+	s.End = s.tr.env.Now()
+}
+
+// Duration returns the span's virtual duration (0 while open).
+func (s *Span) Duration() sim.Duration {
+	if s == nil || s.open {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Spans returns a snapshot of all recorded spans in creation order. The
+// returned slice and each span's Attrs are copies — mutating them cannot
+// corrupt the trace (unlike the pre-fix sim.Env.TraceLog aliasing bug).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = *s
+		out[i].Attrs = append([]Attr(nil), s.Attrs...)
+		out[i].tr = nil
+	}
+	return out
+}
+
+// Find returns a snapshot of the first span named name, and whether one
+// exists.
+func (t *Tracer) Find(name string) (Span, bool) {
+	if t == nil {
+		return Span{}, false
+	}
+	for _, s := range t.spans {
+		if s.Name == name {
+			cp := *s
+			cp.Attrs = append([]Attr(nil), s.Attrs...)
+			cp.tr = nil
+			return cp, true
+		}
+	}
+	return Span{}, false
+}
+
+// Children returns snapshots of the spans whose parent is id, in creation
+// order.
+func (t *Tracer) Children(id SpanID) []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.spans {
+		if s.Parent == id {
+			cp := *s
+			cp.Attrs = append([]Attr(nil), s.Attrs...)
+			cp.tr = nil
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// Reset drops all recorded spans (PU names are kept).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.spans = nil
+}

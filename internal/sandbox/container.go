@@ -3,9 +3,11 @@ package sandbox
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/lang"
 	"repro/internal/localos"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -34,6 +36,9 @@ type ContainerRuntime struct {
 	UseCfork bool
 	// CpusetMutexPatch applies the kernel cpuset patch (Fig 11a).
 	CpusetMutexPatch bool
+	// Obs, when non-nil, counts fork/boot and container-pool events. Nil
+	// (the default) adds no cost to the start path.
+	Obs *obs.Observer
 
 	templates map[lang.Kind]*lang.Instance
 	pool      []*preparedContainer // pre-initialized function containers
@@ -43,6 +48,11 @@ type ContainerRuntime struct {
 type preparedContainer struct {
 	ns *localos.Namespace
 	cg *localos.Cgroup
+}
+
+// puLabel renders the runtime's PU as the standard {pu="N"} metric label.
+func (cr *ContainerRuntime) puLabel() obs.Label {
+	return obs.L("pu", strconv.Itoa(int(cr.OS.PU.ID)))
 }
 
 // NewContainerRuntime returns a container runtime on the given OS.
@@ -112,7 +122,14 @@ func (cr *ContainerRuntime) Create(p *sim.Proc, specs []Spec) error {
 		if spec.Lang == "" {
 			return fmt.Errorf("sandbox: container %q has no language runtime", spec.ID)
 		}
-		ns, cg, _ := cr.takeContainer(p, "fc-"+spec.ID)
+		ns, cg, pooled := cr.takeContainer(p, "fc-"+spec.ID)
+		if o := cr.Obs; o != nil {
+			series := "sandbox_pool_misses_total"
+			if pooled {
+				series = "sandbox_pool_hits_total"
+			}
+			o.Counter(series, cr.puLabel()).Inc()
+		}
 		cr.sandboxes[spec.ID] = &ContainerSandbox{
 			Spec: spec, State: StateCreated, ns: ns, cg: cg,
 		}
@@ -150,11 +167,17 @@ func (cr *ContainerRuntime) Start(p *sim.Proc, ids []string) error {
 				return err
 			}
 			sb.Inst, sb.Forked = inst, true
+			if o := cr.Obs; o != nil {
+				o.Counter("sandbox_cfork_total", cr.puLabel()).Inc()
+			}
 		} else {
 			inst := lang.BootCold(p, cr.OS, spec, "fn-"+sb.Spec.FuncID, false)
 			inst.Proc.NS, inst.Proc.CG = sb.ns, sb.cg
 			inst.LoadFunction(p, sb.Spec.FuncID)
 			sb.Inst, sb.Forked = inst, false
+			if o := cr.Obs; o != nil {
+				o.Counter("sandbox_plain_boots_total", cr.puLabel()).Inc()
+			}
 		}
 		sb.State = StateRunning
 	}

@@ -26,8 +26,17 @@ func (e *Env) DisableTrace() { e.tracing = false }
 // Tracing reports whether tracing is enabled.
 func (e *Env) Tracing() bool { return e.tracing }
 
-// TraceLog returns the recorded events in order.
-func (e *Env) TraceLog() []TraceEvent { return e.trace }
+// TraceLog returns a copy of the recorded events in order. Callers may keep
+// or mutate the slice freely; it never aliases the live log, which later
+// Tracef calls keep appending to.
+func (e *Env) TraceLog() []TraceEvent {
+	if e.trace == nil {
+		return nil
+	}
+	out := make([]TraceEvent, len(e.trace))
+	copy(out, e.trace)
+	return out
+}
 
 // ClearTrace drops recorded events.
 func (e *Env) ClearTrace() { e.trace = nil }

@@ -82,6 +82,31 @@ func TestTraceDumpAndClear(t *testing.T) {
 	}
 }
 
+func TestTraceLogIsACopy(t *testing.T) {
+	env := NewEnv()
+	env.EnableTrace()
+	env.Spawn("p", func(p *Proc) { p.Tracef("one") })
+	env.Run()
+	log := env.TraceLog()
+	log[0].Event = "corrupted"
+	if env.TraceLog()[0].Event != "one" {
+		t.Error("TraceLog aliases internal state; mutation leaked through")
+	}
+	// Appending to the returned slice must not clobber events the live log
+	// records afterwards (the classic shared-backing-array bug).
+	log = log[:1]
+	_ = append(log, TraceEvent{Event: "hijack"})
+	env.Spawn("q", func(p *Proc) { p.Tracef("two") })
+	env.Run()
+	if got := env.TraceLog(); len(got) != 2 || got[1].Event != "two" {
+		t.Errorf("append through stale snapshot corrupted the log: %v", got)
+	}
+	env.ClearTrace()
+	if env.TraceLog() != nil {
+		t.Error("TraceLog of empty log should be nil")
+	}
+}
+
 func TestTraceEventString(t *testing.T) {
 	ev := TraceEvent{T: Time(time.Millisecond), Proc: "worker", Event: "did a thing"}
 	s := ev.String()

@@ -5,8 +5,27 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/localos"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// recordNIPC counts one cross-PU FIFO payload on the directed link src->dst.
+func (s *Shim) recordNIPC(src, dst hw.PUID, bytes int) {
+	o := s.Obs
+	if o == nil {
+		return
+	}
+	l := obs.L("link", fmt.Sprintf("%d->%d", src, dst))
+	o.Counter("xpu_nipc_messages_total", l).Inc()
+	o.Counter("xpu_nipc_bytes_total", l).Add(int64(bytes))
+}
+
+// recordDepth tracks a FIFO's queue depth after a send or receive.
+func (s *Shim) recordDepth(f *XPUFIFO) {
+	if o := s.Obs; o != nil {
+		o.Gauge("xpu_fifo_depth", obs.L("fifo", f.UUID)).Set(float64(f.ch.Len()))
+	}
+}
 
 // XPUFIFO is the neighbor-IPC object: a FIFO whose endpoints may live on
 // different PUs. The queue is hosted on the creating PU; writes from another
@@ -92,8 +111,10 @@ func (fd *FD) Write(p *sim.Proc, m localos.Message) error {
 		if _, err := n.Shim.Machine.Transfer(p, n.Host.ID, fd.fifo.Home, m.Size()); err != nil {
 			return err
 		}
+		n.Shim.recordNIPC(n.Host.ID, fd.fifo.Home, m.Size())
 	}
 	fd.fifo.ch.Send(p, m)
+	n.Shim.recordDepth(fd.fifo)
 	return nil
 }
 
@@ -111,10 +132,12 @@ func (fd *FD) Read(p *sim.Proc) (localos.Message, error) {
 	if !ok {
 		return localos.Message{}, fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
 	}
+	n.Shim.recordDepth(fd.fifo)
 	if n.PU.ID != fd.fifo.Home {
 		if _, err := n.Shim.Machine.Transfer(p, fd.fifo.Home, n.Host.ID, m.Size()); err != nil {
 			return localos.Message{}, err
 		}
+		n.Shim.recordNIPC(fd.fifo.Home, n.Host.ID, m.Size())
 	}
 	return m, nil
 }

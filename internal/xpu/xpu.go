@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/localos"
+	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -134,6 +135,10 @@ type Shim struct {
 	// lazy strategy).
 	EagerDeletes bool
 	stats        SyncStats
+
+	// Obs, when non-nil, records per-link nIPC traffic counters and FIFO
+	// depth gauges. Nil (the default) costs nothing on the data path.
+	Obs *obs.Observer
 }
 
 // NewShim creates a shim over the machine with no nodes yet.
