@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench microbench perfjson report report-md golden trace-demo examples clean
+.PHONY: all check build vet test race chaos bench microbench perfjson report report-md golden trace-demo examples clean
 
 all: check
 
@@ -21,6 +21,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Seeded fault-injection soak: kill/revive PUs under load, assert no
+# invocation is lost or double-billed, and that runs replay from their seed.
+# Race-enabled because the recovery path spawns background attempt procs.
+chaos:
+	$(GO) test -race -run 'TestChaosSoak|TestRetry|TestFailover|TestTimeout' -v ./internal/molecule
+	$(GO) run ./cmd/molecule-bench -chaos 42
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -89,7 +89,16 @@ func main() {
 	jsonPath := flag.String("json", "", "with -timing: also run the kernel microbenchmarks and write a machine-readable snapshot to this `file`")
 	tracePath := flag.String("trace", "", "run the observability demo workload and write its Chrome trace JSON to this `file` (\"-\" = stdout), then exit")
 	metricsPath := flag.String("metrics", "", "run the observability demo workload and write its Prometheus metrics to this `file` (\"-\" = stdout), then exit")
+	chaosSeed := flag.Uint64("chaos", 0, "run the seeded chaos soak demo (kill/revive + fault injection) and exit (0 = off)")
 	flag.Parse()
+
+	if *chaosSeed != 0 {
+		if err := bench.ChaosDemo(os.Stdout, *chaosSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tracePath != "" || *metricsPath != "" {
 		if err := runObsDemo(*tracePath, *metricsPath); err != nil {

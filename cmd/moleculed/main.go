@@ -29,12 +29,28 @@ func main() {
 	fnFile := flag.String("functions", "", "JSON file with custom function specs")
 	trace := flag.Bool("trace", false, "record invocation spans; GET /trace serves Chrome trace_event JSON")
 	metrics := flag.Bool("metrics", false, "record metrics; GET /metrics serves Prometheus text exposition")
+	faultSpec := flag.String("fault", "", "fault plan `spec`, e.g. \"crash=1@2s+500ms,create-fail=0.01\" (see internal/faults)")
+	faultSeed := flag.Uint64("fault-seed", 1, "PRNG seed for probabilistic faults")
+	invokeTimeout := flag.Duration("invoke-timeout", 0, "per-attempt invocation timeout in virtual time (0 = no timeout)")
+	retries := flag.Int("retries", 0, "max retries for transiently-failed invocations")
+	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff in virtual time (doubles per retry; default 1ms)")
 	flag.Parse()
 
-	s, err := httpd.NewServer(hw.Config{DPUs: *dpus, FPGAs: *fpgas, GPUs: *gpus},
-		molecule.DefaultOptions())
+	opts := molecule.DefaultOptions()
+	opts.Recovery = molecule.RecoveryOptions{
+		InvokeTimeout: *invokeTimeout,
+		MaxRetries:    *retries,
+		RetryBackoff:  *retryBackoff,
+	}
+	s, err := httpd.NewServer(hw.Config{DPUs: *dpus, FPGAs: *fpgas, GPUs: *gpus}, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *faultSpec != "" {
+		if err := s.AttachFaults(*faultSeed, *faultSpec); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fault plan active (seed %d): %s", *faultSeed, *faultSpec)
 	}
 	if *trace || *metrics {
 		s.EnableObservability()

@@ -11,6 +11,7 @@ package httpd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/molecule"
 	"repro/internal/obs"
@@ -47,6 +49,18 @@ func NewServer(cfg hw.Config, opts molecule.Options) (*Server, error) {
 		return nil, err
 	}
 	return &Server{env: env, rt: rt}, nil
+}
+
+// AttachFaults parses a fault-plan spec (see faults.ParseSpec) and wires the
+// resulting plan through every layer of the server's runtime. Times in the
+// spec are virtual and measured from the simulation epoch.
+func (s *Server) AttachFaults(seed uint64, spec string) error {
+	pl := faults.NewPlan(s.env, seed)
+	if err := faults.ParseSpec(pl, spec); err != nil {
+		return err
+	}
+	s.rt.AttachFaults(pl)
+	return nil
 }
 
 // EnableObservability attaches a span tracer and metrics registry to the
@@ -232,7 +246,13 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		gw.Finish()
 	})
 	if invErr != nil {
-		writeErr(w, http.StatusBadRequest, invErr)
+		// Exhausted recovery (timeouts, crashed PUs) is the platform's
+		// fault, not the client's: a gateway answers 503, not 400.
+		status := http.StatusBadRequest
+		if errors.Is(invErr, molecule.ErrUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, invErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, InvokeResponse{

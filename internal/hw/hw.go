@@ -128,10 +128,22 @@ func (l Link) TransferTime(n int) time.Duration {
 	return d
 }
 
+// FaultInjector vets transfers before they charge the interconnect. It is
+// consumer-side so hw need not import the faults package; *faults.Plan
+// implements it. A returned error fails the transfer without charging any
+// time; inflate > 1 stretches both latency phases (a degraded link).
+type FaultInjector interface {
+	TransferFault(a, b PUID) (inflate float64, err error)
+}
+
 // Machine is a heterogeneous computer: a set of PUs plus the interconnect
 // matrix between them.
 type Machine struct {
 	Env *sim.Env
+
+	// Faults, when non-nil, is consulted on every Transfer. Nil (the
+	// default) costs one pointer check and keeps timing byte-identical.
+	Faults FaultInjector
 
 	pus   []*PU
 	links map[[2]PUID]Link
@@ -208,8 +220,20 @@ func (m *Machine) Transfer(p *sim.Proc, a, b PUID, n int) (Link, error) {
 	if !ok {
 		return Link{}, fmt.Errorf("hw: no link between PU %d and PU %d", a, b)
 	}
+	inflate := 1.0
+	if m.Faults != nil {
+		var err error
+		if inflate, err = m.Faults.TransferFault(a, b); err != nil {
+			return l, err
+		}
+	}
+	baseLat := l.BaseLat
 	bwTime := l.TransferTime(n) - l.BaseLat
-	p.Sleep(l.BaseLat)
+	if inflate > 1 {
+		baseLat = time.Duration(float64(baseLat) * inflate)
+		bwTime = time.Duration(float64(bwTime) * inflate)
+	}
+	p.Sleep(baseLat)
 	if bwTime <= 0 {
 		return l, nil
 	}

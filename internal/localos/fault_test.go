@@ -1,0 +1,39 @@
+package localos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+type failingForks struct{ err error }
+
+func (f failingForks) ForkFault() error { return f.err }
+
+func TestForkFault(t *testing.T) {
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{})
+	os := New(env, m.PU(0))
+	injected := errors.New("boom")
+	env.Spawn("test", func(p *sim.Proc) {
+		parent := os.Spawn(p, "parent")
+		os.Faults = failingForks{err: injected}
+		start := p.Now()
+		if _, err := os.Fork(p, parent, "child"); !errors.Is(err, injected) {
+			t.Errorf("Fork err = %v, want injected fault", err)
+		}
+		if p.Now() != start {
+			t.Error("failed fork charged virtual time")
+		}
+		if got := os.NumProcesses(); got != 1 {
+			t.Errorf("failed fork left %d processes, want 1", got)
+		}
+		os.Faults = failingForks{} // nil error: fork succeeds again
+		if _, err := os.Fork(p, parent, "child"); err != nil {
+			t.Errorf("fork with inert injector: %v", err)
+		}
+	})
+	env.Run()
+}

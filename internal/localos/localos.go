@@ -85,10 +85,21 @@ func scale(d time.Duration, f float64) time.Duration {
 }
 
 // OS is one operating-system instance bound to a PU.
+// FaultInjector lets a fault plan fail forks probabilistically. Declared
+// consumer-side so localos need not import the faults package; *faults.Plan
+// implements it.
+type FaultInjector interface {
+	ForkFault() error
+}
+
 type OS struct {
 	Env   *sim.Env
 	PU    *hw.PU
 	Costs CostModel
+
+	// Faults, when non-nil, is consulted on every Fork before any time is
+	// charged. Nil keeps the fork path byte-identical.
+	Faults FaultInjector
 
 	nextPID PID
 	nextNS  int
@@ -150,6 +161,11 @@ func (os *OS) Fork(p *sim.Proc, parent *Process, childName string) (*Process, er
 	if parent.Threads != 1 {
 		return nil, fmt.Errorf("localos: fork of multi-threaded process %d (%d threads); merge threads first",
 			parent.PID, parent.Threads)
+	}
+	if os.Faults != nil {
+		if err := os.Faults.ForkFault(); err != nil {
+			return nil, fmt.Errorf("localos: fork on PU %d: %w", os.PU.ID, err)
+		}
 	}
 	p.Sleep(os.Costs.ForkBase)
 	child := os.newProcess(childName, parent.AS.Fork(), 1)

@@ -3,6 +3,7 @@ package molecule
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/sandbox"
 	"repro/internal/sim"
@@ -194,7 +195,9 @@ func (rt *Runtime) extendFPGAImages(p *sim.Proc, funcName string) error {
 // reprogramFPGA flushes the node's current vector as one image and starts
 // (preps) every member so subsequent requests are warm.
 func (rt *Runtime) reprogramFPGA(p *sim.Proc, n *puNode) error {
-	rt.remoteCommand(p, n.pu.ID, nil)
+	if err := rt.remoteCommand(p, n.pu.ID, nil); err != nil {
+		return err
+	}
 	specs := make([]sandbox.Spec, 0, len(n.fpgaVector))
 	ids := make([]string, 0, len(n.fpgaVector))
 	for _, fn := range n.fpgaVector {
@@ -236,7 +239,9 @@ func (rt *Runtime) loadGPUKernel(p *sim.Proc, funcName string) error {
 		}
 		n.sandboxSeq++
 		id := fmt.Sprintf("gpu-%s-%d", funcName, n.sandboxSeq)
-		rt.remoteCommand(p, n.pu.ID, nil)
+		if err := rt.remoteCommand(p, n.pu.ID, nil); err != nil {
+			return err
+		}
 		if err := n.rung.Create(p, []sandbox.Spec{{ID: id, FuncID: funcName}}); err != nil {
 			return err
 		}
@@ -273,6 +278,9 @@ func (rt *Runtime) placeGeneral(d *Deployment, pin hw.PUID) (*puNode, error) {
 		if n == nil || n.cr == nil {
 			return nil, fmt.Errorf("molecule: PU %d cannot host container functions", pin)
 		}
+		if rt.puDown(pin) {
+			return nil, fmt.Errorf("molecule: PU %d: %w", pin, faults.ErrPUDown)
+		}
 		if !d.SupportsKind(n.pu.Kind) {
 			return nil, fmt.Errorf("molecule: %q has no %v profile", d.Fn.Name, n.pu.Kind)
 		}
@@ -281,16 +289,19 @@ func (rt *Runtime) placeGeneral(d *Deployment, pin hw.PUID) (*puNode, error) {
 		}
 		return n, nil
 	}
+	// The kind-then-PU-ID scan is what makes failover deterministic: when a
+	// preferred PU is down, the placement lands on the lowest-ordered
+	// surviving PU with capacity.
 	for _, kind := range []hw.PUKind{hw.CPU, hw.DPU} {
 		if !d.SupportsKind(kind) {
 			continue
 		}
 		for _, pu := range rt.Machine.PUsOfKind(kind) {
 			n := rt.nodes[pu.ID]
-			if n != nil && n.cr != nil && n.liveCount < n.capacity {
+			if n != nil && n.cr != nil && n.liveCount < n.capacity && !rt.puDown(pu.ID) {
 				return n, nil
 			}
 		}
 	}
-	return nil, fmt.Errorf("molecule: no capacity for %q on any PU", d.Fn.Name)
+	return nil, fmt.Errorf("molecule: no capacity for %q on any live PU", d.Fn.Name)
 }

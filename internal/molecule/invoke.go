@@ -60,33 +60,57 @@ type Result struct {
 // Invoke runs one request for funcName and returns its latency breakdown.
 // Accelerator profiles win placement when available (the request was priced
 // for them); otherwise the general-purpose placement policy picks a PU.
+// With Options.Recovery enabled, transient failures are retried with
+// backoff and failover; otherwise this is a single attempt on the exact
+// pre-recovery code path.
 func (rt *Runtime) Invoke(p *sim.Proc, funcName string, opts InvokeOptions) (Result, error) {
 	d, err := rt.Deployment(funcName)
 	if err != nil {
 		return Result{}, err
 	}
+	if !rt.Opts.Recovery.Enabled() {
+		return rt.dispatch(p, d, opts, true)
+	}
+	return rt.invokeWithRecovery(p, d, opts)
+}
+
+// dispatch routes one attempt to the PU-kind-specific invoke path. settle
+// controls whether the attempt bills and records itself on success; the
+// recovery layer passes false and settles exactly one winning attempt, so
+// an attempt that completes after its timeout is never billed.
+func (rt *Runtime) dispatch(p *sim.Proc, d *Deployment, opts InvokeOptions, settle bool) (Result, error) {
 	if opts.PU >= 0 {
 		if n := rt.nodes[opts.PU]; n != nil {
 			switch n.pu.Kind {
 			case hw.FPGA:
-				return rt.invokeFPGA(p, d, opts)
+				return rt.invokeFPGA(p, d, opts, settle)
 			case hw.GPU:
-				return rt.invokeGPU(p, d, opts)
+				return rt.invokeGPU(p, d, opts, settle)
 			}
 		}
-		return rt.invokeGeneral(p, d, opts)
+		return rt.invokeGeneral(p, d, opts, settle)
 	}
 	if d.SupportsKind(hw.FPGA) {
-		return rt.invokeFPGA(p, d, opts)
+		return rt.invokeFPGA(p, d, opts, settle)
 	}
 	if d.SupportsKind(hw.GPU) {
-		return rt.invokeGPU(p, d, opts)
+		return rt.invokeGPU(p, d, opts, settle)
 	}
-	return rt.invokeGeneral(p, d, opts)
+	return rt.invokeGeneral(p, d, opts, settle)
+}
+
+// settleResult bills the invocation and updates its metric series — the
+// exactly-once accounting step of every successful invocation.
+func (rt *Runtime) settleResult(d *Deployment, res Result) {
+	pr, _ := d.ProfileFor(res.Kind)
+	rt.bill.Record(d.Fn.Name, res.Kind, res.Total, pr.PricePerMs)
+	if pu := rt.Machine.PU(res.PU); pu != nil {
+		rt.recordInvocation(d.Fn.Name, pu, res)
+	}
 }
 
 // invokeGeneral serves the request on a CPU or DPU container instance.
-func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
+func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions, settle bool) (Result, error) {
 	start := p.Now()
 	root := rt.obs.Span(opts.Span, "invoke", int(rt.hostID))
 	root.SetAttr("fn", d.Fn.Name)
@@ -112,6 +136,16 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions)
 	execStart := p.Now()
 	if !cold {
 		p.Sleep(params.WarmDispatchTime)
+	}
+	if rt.faults != nil {
+		if ferr := rt.faults.HandlerFault(); ferr != nil {
+			// The handler crashed: its instance is gone, not warm.
+			rt.destroy(p, inst)
+			err := fmt.Errorf("molecule: %s handler on PU %d: %w", d.Fn.Name, inst.node.pu.ID, ferr)
+			root.SetAttr("error", err.Error())
+			root.Finish()
+			return Result{}, err
+		}
 	}
 	hs := rt.obs.Span(root, "handler", int(inst.node.pu.ID))
 	if inst.forked && inst.sb.Inst.COWPending {
@@ -145,9 +179,9 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions)
 	inst.node.busy += res.Exec
 	rt.release(p, inst)
 	p.Tracef("invoke %s: done in %v (exec %v)", d.Fn.Name, res.Total, res.Exec)
-	pr, _ := d.ProfileFor(inst.node.pu.Kind)
-	rt.bill.Record(d.Fn.Name, inst.node.pu.Kind, res.Total, pr.PricePerMs)
-	rt.recordInvocation(d.Fn.Name, inst.node.pu, res)
+	if settle {
+		rt.settleResult(d, res)
+	}
 	return res, nil
 }
 
@@ -206,6 +240,9 @@ func (rt *Runtime) popWarm(fn string, pin hw.PUID) *instance {
 		if pin >= 0 && n.pu.ID != pin {
 			continue
 		}
+		if rt.puDown(n.pu.ID) {
+			continue // stranded warm instances are reaped, never served
+		}
 		for pool := n.warm[fn]; len(pool) > 0; pool = n.warm[fn] {
 			inst := pool[len(pool)-1]
 			n.warm[fn] = pool[:len(pool)-1]
@@ -234,7 +271,9 @@ func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID, parent *ob
 	}
 	ps.SetAttr("pu", fmt.Sprintf("%d", n.pu.ID))
 	ps.Finish()
-	rt.remoteCommand(p, n.pu.ID, parent)
+	if err := rt.remoteCommand(p, n.pu.ID, parent); err != nil {
+		return nil, err
+	}
 	if !rt.Opts.UseCfork && rt.Opts.Startup == StartupSnapshot {
 		return rt.restoreFromSnapshot(p, d, n)
 	}
@@ -258,6 +297,9 @@ func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID, parent *ob
 	ss := rt.obs.Span(parent, "sandbox.start", int(n.pu.ID))
 	if err := sandbox.StartOne(p, n.cr, id); err != nil {
 		ss.Finish()
+		// Don't leak the created-but-never-started sandbox: a failed start
+		// (e.g. an injected fork fault) must leave no instance behind.
+		sandbox.DeleteOne(p, n.cr, id)
 		return nil, err
 	}
 	ss.Finish()
@@ -358,7 +400,7 @@ func (rt *Runtime) AcquireHeld(p *sim.Proc, funcName string, pin hw.PUID) (*inst
 func (rt *Runtime) ReleaseHeld(p *sim.Proc, inst *instance) { rt.release(p, inst) }
 
 // invokeFPGA serves the request on the function's FPGA sandbox.
-func (rt *Runtime) invokeFPGA(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
+func (rt *Runtime) invokeFPGA(p *sim.Proc, d *Deployment, opts InvokeOptions, settle bool) (Result, error) {
 	start := p.Now()
 	root := rt.obs.Span(opts.Span, "invoke", int(rt.hostID))
 	root.SetAttr("fn", d.Fn.Name)
@@ -406,14 +448,14 @@ func (rt *Runtime) invokeFPGA(p *sim.Proc, d *Deployment, opts InvokeOptions) (R
 		}
 		res.Output = out
 	}
-	pr, _ := d.ProfileFor(hw.FPGA)
-	rt.bill.Record(d.Fn.Name, hw.FPGA, res.Total, pr.PricePerMs)
-	rt.recordInvocation(d.Fn.Name, n.pu, res)
+	if settle {
+		rt.settleResult(d, res)
+	}
 	return res, nil
 }
 
 // invokeGPU serves the request on the function's GPU sandbox.
-func (rt *Runtime) invokeGPU(p *sim.Proc, d *Deployment, opts InvokeOptions) (Result, error) {
+func (rt *Runtime) invokeGPU(p *sim.Proc, d *Deployment, opts InvokeOptions, settle bool) (Result, error) {
 	start := p.Now()
 	root := rt.obs.Span(opts.Span, "invoke", int(rt.hostID))
 	root.SetAttr("fn", d.Fn.Name)
@@ -453,8 +495,8 @@ func (rt *Runtime) invokeGPU(p *sim.Proc, d *Deployment, opts InvokeOptions) (Re
 	root.SetAttr("pu", fmt.Sprintf("%d", n.pu.ID))
 	root.Finish() // root span duration == res.Total by construction
 	n.busy += res.Exec
-	pr, _ := d.ProfileFor(hw.GPU)
-	rt.bill.Record(d.Fn.Name, hw.GPU, res.Total, pr.PricePerMs)
-	rt.recordInvocation(d.Fn.Name, n.pu, res)
+	if settle {
+		rt.settleResult(d, res)
+	}
 	return res, nil
 }

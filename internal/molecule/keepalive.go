@@ -86,7 +86,13 @@ func (ka *keepAlive) admit(fn string, n *puNode) []*instance {
 		pool := n.warm[victimFn]
 		evict = append(evict, pool[0])
 		n.warm[victimFn] = pool[1:]
-		ka.clock = victimPri // greedy-dual aging
+		// Greedy-dual aging: the clock only ever advances. A victim whose
+		// priority predates the current clock (stale stat from an earlier
+		// era) must not rewind it, or every later admit would inherit an
+		// artificially low base priority and thrash the cache.
+		if victimPri > ka.clock {
+			ka.clock = victimPri
+		}
 		total--
 	}
 	return evict

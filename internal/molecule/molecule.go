@@ -13,9 +13,11 @@ package molecule
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/lang"
 	"repro/internal/localos"
@@ -84,6 +86,10 @@ type Options struct {
 	// reproducible. Zero (the default) disables it; calibration tests rely
 	// on exact latencies.
 	JitterPct float64
+	// Recovery configures the per-invoke timeout / retry / failover policy.
+	// The zero value disables it entirely: Invoke takes the exact pre-
+	// recovery code path, keeping the golden report byte-identical.
+	Recovery RecoveryOptions
 }
 
 // DefaultOptions returns the configuration the paper evaluates as
@@ -149,6 +155,10 @@ type Runtime struct {
 	// nil-checks rt.obs first or calls a nil-safe obs method.
 	obs *obs.Observer
 
+	// faults is the attached fault plan (AttachFaults); nil means a healthy
+	// machine and zero-cost checks everywhere.
+	faults *faults.Plan
+
 	fifoSeq   int
 	jitterSeq uint64
 }
@@ -186,6 +196,15 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 		o.Metrics.SetHelp("sandbox_pool_hits_total", "Sandbox creations served from the prepared container pool.")
 		o.Metrics.SetHelp("sandbox_pool_misses_total", "Sandbox creations that built a container on the critical path.")
 		o.Metrics.SetHelp("sandbox_cow_faults_total", "Handler invocations that paid copy-on-write faults after cfork.")
+		o.Metrics.SetHelp("molecule_invoke_retries_total", "Invocation attempts retried after a transient failure, by function.")
+		o.Metrics.SetHelp("molecule_invoke_timeouts_total", "Invocation attempts abandoned by the per-invoke timeout, by function.")
+		o.Metrics.SetHelp("molecule_failovers_total", "Pinned invocations re-placed onto a surviving PU after infrastructure failure.")
+		o.Metrics.SetHelp("molecule_invoke_unavailable_total", "Invocations that exhausted every retry and returned ErrUnavailable.")
+		o.Metrics.SetHelp("molecule_crash_evictions_total", "Warm instances evicted because their PU crashed, by PU and function.")
+		o.Metrics.SetHelp("faults_injected_total", "Faults injected by the attached fault plan, by kind.")
+	}
+	if rt.faults != nil {
+		rt.faults.Obs = o
 	}
 }
 
@@ -409,6 +428,80 @@ func (rt *Runtime) KillExecutor(p *sim.Proc, id hw.PUID) error {
 	return nil
 }
 
+// AttachFaults wires a fault plan through every layer Molecule manages: the
+// interconnect (hw.Machine.Transfer), the XPU-Shim (fail-fast XPUcalls),
+// and each general-purpose PU's OS and container runtime. Passing nil
+// detaches everything, restoring the healthy byte-identical paths.
+func (rt *Runtime) AttachFaults(pl *faults.Plan) {
+	rt.faults = pl
+	if pl == nil {
+		rt.Machine.Faults = nil
+		rt.Shim.Faults = nil
+	} else {
+		rt.Machine.Faults = pl
+		rt.Shim.Faults = pl
+		pl.Obs = rt.obs
+	}
+	for _, n := range rt.orderedNodes() {
+		if n.os != nil {
+			if pl == nil {
+				n.os.Faults = nil
+			} else {
+				n.os.Faults = pl
+			}
+		}
+		if n.cr != nil {
+			if pl == nil {
+				n.cr.Faults = nil
+			} else {
+				n.cr.Faults = pl
+			}
+		}
+	}
+}
+
+// Faults returns the attached fault plan (nil on a healthy machine).
+func (rt *Runtime) Faults() *faults.Plan { return rt.faults }
+
+// puDown reports whether the fault plan has PU id crashed right now.
+func (rt *Runtime) puDown(id hw.PUID) bool {
+	return rt.faults != nil && id >= 0 && rt.faults.Down(id)
+}
+
+// reapCrashed evicts warm instances stranded on crashed PUs — their
+// executor and sandboxes died with the PU, so serving them would hand out
+// dead instances. Called on the recovery path before each attempt; pure
+// bookkeeping, no virtual time charged.
+func (rt *Runtime) reapCrashed(p *sim.Proc) {
+	for _, n := range rt.orderedNodes() {
+		if n.cr == nil || !rt.puDown(n.pu.ID) {
+			continue
+		}
+		fns := make([]string, 0, len(n.warm))
+		for fn := range n.warm {
+			if len(n.warm[fn]) > 0 {
+				fns = append(fns, fn)
+			}
+		}
+		sort.Strings(fns) // map order is random; eviction order must not be
+		for _, fn := range fns {
+			for _, inst := range n.warm[fn] {
+				sandbox.DeleteOne(p, n.cr, inst.sandboxID)
+				n.liveCount--
+				if o := rt.obs; o != nil {
+					o.Counter("molecule_crash_evictions_total", puLabel(n.pu.ID), obs.L("fn", fn)).Inc()
+				}
+			}
+			delete(n.warm, fn)
+		}
+		// The executor died with its PU; it is respawned by the next
+		// command once the PU revives.
+		if n.pu.ID != rt.hostID {
+			n.execDead = true
+		}
+	}
+}
+
 // ExecutorAlive reports whether the PU's executor is running.
 func (rt *Runtime) ExecutorAlive(id hw.PUID) bool {
 	n := rt.nodes[id]
@@ -432,31 +525,43 @@ func (rt *Runtime) respawnExecutor(p *sim.Proc, n *puNode) error {
 // PU id: free on the host, nIPC + executor handling elsewhere (Fig 10a/b:
 // remote cfork adds ~1-3ms). A crashed executor is detected (command
 // timeout) and respawned before the command retries. parent, when tracing,
-// is the span the nIPC hop is recorded under.
-func (rt *Runtime) remoteCommand(p *sim.Proc, id hw.PUID, parent *obs.Span) {
+// is the span the nIPC hop is recorded under. A command that cannot reach
+// the PU — crashed endpoint, partitioned link — returns the transport
+// error so the caller can fail the invocation instead of pretending the
+// executor answered.
+func (rt *Runtime) remoteCommand(p *sim.Proc, id hw.PUID, parent *obs.Span) error {
 	if id == rt.hostID {
-		return
+		return nil
 	}
 	n := rt.nodes[id]
 	if n == nil {
-		return
+		return nil
 	}
 	if n.execDead {
-		rt.respawnExecutor(p, n)
+		if err := rt.respawnExecutor(p, n); err != nil {
+			return err
+		}
 	}
 	target := n.node.Host.ID // commands to virtual nodes land on their host
 	if target == rt.hostID {
-		return
+		return nil
 	}
 	sp := rt.obs.Span(parent, "nipc.command", int(target))
-	if _, err := rt.Machine.Transfer(p, rt.hostID, target, 256); err == nil {
+	_, err := rt.Machine.Transfer(p, rt.hostID, target, 256)
+	if err == nil {
 		p.Sleep(params.ExecutorCommandOverhead)
-		rt.Machine.Transfer(p, target, rt.hostID, 128)
+		_, err = rt.Machine.Transfer(p, target, rt.hostID, 128)
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.Finish()
+		return fmt.Errorf("molecule: command to executor on PU %d: %w", id, err)
 	}
 	sp.Finish()
 	if o := rt.obs; o != nil {
 		o.Counter("molecule_nipc_commands_total", puLabel(id)).Inc()
 	}
+	return nil
 }
 
 func (rt *Runtime) nextFIFO(prefix string) string {

@@ -1,0 +1,220 @@
+package molecule
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func recoveryOpts(rec RecoveryOptions) Options {
+	opts := DefaultOptions()
+	opts.Recovery = rec
+	return opts
+}
+
+// TestRetryThenSucceedBillsOnce: an invocation pinned to a crashed DPU fails
+// fast, retries with failover, and succeeds on the host — producing exactly
+// one billing entry and one invocation record.
+func TestRetryThenSucceedBillsOnce(t *testing.T) {
+	opts := recoveryOpts(RecoveryOptions{MaxRetries: 3, RetryBackoff: 5 * time.Millisecond})
+	run(t, hw.Config{DPUs: 1}, opts, func(p *sim.Proc, rt *Runtime) {
+		o := obs.New(rt.Env)
+		rt.SetObserver(o)
+		pl := faults.NewPlan(rt.Env, 1)
+		rt.AttachFaults(pl)
+		if err := rt.Deploy(p, "matmul", DefaultProfile(hw.CPU), DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		pl.Kill(dpu)
+		res, err := rt.Invoke(p, "matmul", InvokeOptions{PU: dpu})
+		if err != nil {
+			t.Fatalf("invoke with recovery failed: %v", err)
+		}
+		if res.PU != 0 {
+			t.Errorf("recovered invoke ran on PU %d, want host 0", res.PU)
+		}
+		if got := len(rt.Billing().Entries()); got != 1 {
+			t.Errorf("billing entries = %d, want exactly 1", got)
+		}
+		if got := o.Counter("molecule_invoke_retries_total", obs.L("fn", "matmul")).Value(); got != 1 {
+			t.Errorf("retries counter = %d, want 1", got)
+		}
+		if got := o.Counter("molecule_failovers_total", obs.L("fn", "matmul")).Value(); got != 1 {
+			t.Errorf("failovers counter = %d, want 1", got)
+		}
+	})
+}
+
+// TestFailoverLandsOnLowestSurvivingPU: with the preferred DPU down, the
+// re-placed invocation deterministically lands on the lowest-ordered
+// surviving PU of a supported kind, and the dead PU's stranded warm
+// instances are evicted rather than served.
+func TestFailoverLandsOnLowestSurvivingPU(t *testing.T) {
+	opts := recoveryOpts(RecoveryOptions{MaxRetries: 2, RetryBackoff: time.Millisecond})
+	run(t, hw.Config{DPUs: 2}, opts, func(p *sim.Proc, rt *Runtime) {
+		o := obs.New(rt.Env)
+		rt.SetObserver(o)
+		pl := faults.NewPlan(rt.Env, 1)
+		rt.AttachFaults(pl)
+		// DPU-only profile: the host CPU cannot absorb the failover, so the
+		// placement scan must pick the next DPU by PU-ID order.
+		if err := rt.Deploy(p, "matmul", DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+		dpus := rt.Machine.PUsOfKind(hw.DPU)
+		first, second := dpus[0].ID, dpus[1].ID
+		// Warm an instance on the first DPU, then crash it.
+		if _, err := rt.Invoke(p, "matmul", InvokeOptions{PU: first}); err != nil {
+			t.Fatal(err)
+		}
+		pl.Kill(first)
+		res, err := rt.Invoke(p, "matmul", InvokeOptions{PU: first})
+		if err != nil {
+			t.Fatalf("failover invoke failed: %v", err)
+		}
+		if res.PU != second {
+			t.Errorf("failover landed on PU %d, want lowest surviving DPU %d", res.PU, second)
+		}
+		if !res.Cold {
+			t.Error("failover invoke served warm on a PU that had no instance")
+		}
+		// The crashed DPU's warm instance was reaped, not served.
+		if got := rt.Node(first).liveCount; got != 0 {
+			t.Errorf("dead PU live count = %d, want 0", got)
+		}
+		if got := o.Counter("molecule_crash_evictions_total", puLabel(first), obs.L("fn", "matmul")).Value(); got != 1 {
+			t.Errorf("crash evictions = %d, want 1", got)
+		}
+		// Revival restores the original placement preference.
+		pl.Revive(first)
+		res, err = rt.Invoke(p, "matmul", InvokeOptions{PU: first})
+		if err != nil {
+			t.Fatalf("post-revive invoke failed: %v", err)
+		}
+		if res.PU != first {
+			t.Errorf("post-revive invoke on PU %d, want %d", res.PU, first)
+		}
+	})
+}
+
+// TestTimeoutZeroRetriesSurfacesUnavailable: a timed-out attempt with no
+// retry budget returns a typed ErrUnavailable; the abandoned attempt
+// finishes in the background without ever being billed.
+func TestTimeoutZeroRetriesSurfacesUnavailable(t *testing.T) {
+	opts := recoveryOpts(RecoveryOptions{InvokeTimeout: time.Millisecond})
+	var rt2 *Runtime
+	var o *obs.Observer
+	run(t, hw.Config{}, opts, func(p *sim.Proc, rt *Runtime) {
+		rt2 = rt
+		o = obs.New(rt.Env)
+		rt.SetObserver(o)
+		if err := rt.Deploy(p, "matmul"); err != nil {
+			t.Fatal(err)
+		}
+		// A cold start takes ~30ms, far beyond the 1ms budget.
+		_, err := rt.Invoke(p, "matmul", DefaultInvokeOptions())
+		if err == nil {
+			t.Fatal("invoke succeeded despite 1ms timeout")
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			t.Errorf("error %v does not wrap ErrUnavailable", err)
+		}
+		if got := o.Counter("molecule_invoke_timeouts_total", obs.L("fn", "matmul")).Value(); got != 1 {
+			t.Errorf("timeouts counter = %d, want 1", got)
+		}
+		if got := o.Counter("molecule_invoke_unavailable_total", obs.L("fn", "matmul")).Value(); got != 1 {
+			t.Errorf("unavailable counter = %d, want 1", got)
+		}
+	})
+	// run() has drained the event loop: the abandoned attempt completed in
+	// the background. It must not have produced a billing entry.
+	if got := len(rt2.Billing().Entries()); got != 0 {
+		t.Errorf("abandoned attempt produced %d billing entries, want 0", got)
+	}
+}
+
+// TestRecoveryDisabledIsSingleAttempt: the zero-value RecoveryOptions keep
+// Invoke on the single-attempt path — a pinned-down PU fails immediately
+// with no retries, preserving pre-recovery behavior.
+func TestRecoveryDisabledIsSingleAttempt(t *testing.T) {
+	run(t, hw.Config{DPUs: 1}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		o := obs.New(rt.Env)
+		rt.SetObserver(o)
+		pl := faults.NewPlan(rt.Env, 1)
+		rt.AttachFaults(pl)
+		if err := rt.Deploy(p, "matmul", DefaultProfile(hw.CPU), DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		pl.Kill(dpu)
+		start := p.Now()
+		_, err := rt.Invoke(p, "matmul", InvokeOptions{PU: dpu})
+		if !errors.Is(err, faults.ErrPUDown) {
+			t.Errorf("error %v does not wrap ErrPUDown", err)
+		}
+		if p.Now() != start {
+			t.Error("failed single attempt consumed virtual time")
+		}
+		if got := o.Counter("molecule_invoke_retries_total", obs.L("fn", "matmul")).Value(); got != 0 {
+			t.Errorf("retries counter = %d with recovery disabled, want 0", got)
+		}
+	})
+}
+
+// TestNonTransientErrorNotRetried: a deploy-level error (no profile for the
+// pinned kind) is permanent and must not burn the retry budget.
+func TestNonTransientErrorNotRetried(t *testing.T) {
+	opts := recoveryOpts(RecoveryOptions{MaxRetries: 5, RetryBackoff: time.Millisecond})
+	run(t, hw.Config{DPUs: 1}, opts, func(p *sim.Proc, rt *Runtime) {
+		o := obs.New(rt.Env)
+		rt.SetObserver(o)
+		if err := rt.Deploy(p, "matmul"); err != nil { // CPU profile only
+			t.Fatal(err)
+		}
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		if _, err := rt.Invoke(p, "matmul", InvokeOptions{PU: dpu}); err == nil {
+			t.Fatal("invoke with unsupported profile succeeded")
+		}
+		if got := o.Counter("molecule_invoke_retries_total", obs.L("fn", "matmul")).Value(); got != 0 {
+			t.Errorf("permanent error was retried %d times", got)
+		}
+	})
+}
+
+// TestKeepAliveClockNeverRewinds: greedy-dual aging must be monotonic.
+// Evicting a victim whose (stale) priority predates the current clock used
+// to rewind the clock, deflating every later admission's priority.
+func TestKeepAliveClockNeverRewinds(t *testing.T) {
+	ka := newKeepAlive(1)
+	ka.hit("old") // pri = 1 at clock 0
+	ka.clock = 5  // prior evictions advanced the clock
+	n := &puNode{warm: map[string][]*instance{
+		"old": {{}},
+		"new": {{}},
+	}}
+	evict := ka.admit("new", n)
+	if len(evict) != 1 {
+		t.Fatalf("evicted %d instances, want 1", len(evict))
+	}
+	if ka.stat("old").pri >= ka.stat("new").pri {
+		t.Fatalf("victim selection wrong: old pri %.1f, new pri %.1f",
+			ka.stat("old").pri, ka.stat("new").pri)
+	}
+	if ka.clock != 5 {
+		t.Errorf("clock = %.1f after evicting a stale victim, want 5 (no rewind)", ka.clock)
+	}
+	// And the clock still advances normally for victims ahead of it.
+	ka.setCost("rich", 100)
+	ka.hit("rich") // pri = 5 + 100 = 105
+	n.warm["rich"] = []*instance{{}}
+	ka.admit("rich", n) // rich re-admitted; victim is "new" (pri 6)
+	if ka.clock != 6 {
+		t.Errorf("clock = %.1f, want 6 (advanced to victim priority)", ka.clock)
+	}
+}

@@ -28,6 +28,13 @@ type ContainerSandbox struct {
 // ContainerRuntime is the runc-style sandbox runtime for general-purpose
 // PUs, extended with container fork. It is always driven with one-sized
 // vectors, mirroring the paper's modified Docker runc.
+// FaultInjector lets a fault plan fail sandbox creations probabilistically.
+// Declared consumer-side so sandbox need not import the faults package;
+// *faults.Plan implements it.
+type FaultInjector interface {
+	CreateFault() error
+}
+
 type ContainerRuntime struct {
 	OS *localos.OS
 
@@ -39,6 +46,10 @@ type ContainerRuntime struct {
 	// Obs, when non-nil, counts fork/boot and container-pool events. Nil
 	// (the default) adds no cost to the start path.
 	Obs *obs.Observer
+	// Faults, when non-nil, can fail sandbox creation probabilistically.
+	// Consulted before the container pool is touched, so an injected
+	// failure never consumes a prepared container.
+	Faults FaultInjector
 
 	templates map[lang.Kind]*lang.Instance
 	pool      []*preparedContainer // pre-initialized function containers
@@ -121,6 +132,11 @@ func (cr *ContainerRuntime) Create(p *sim.Proc, specs []Spec) error {
 		}
 		if spec.Lang == "" {
 			return fmt.Errorf("sandbox: container %q has no language runtime", spec.ID)
+		}
+		if cr.Faults != nil {
+			if err := cr.Faults.CreateFault(); err != nil {
+				return fmt.Errorf("sandbox: create %q on PU %d: %w", spec.ID, cr.OS.PU.ID, err)
+			}
 		}
 		ns, cg, pooled := cr.takeContainer(p, "fc-"+spec.ID)
 		if o := cr.Obs; o != nil {

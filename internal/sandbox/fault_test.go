@@ -1,0 +1,41 @@
+package sandbox
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+type failingCreates struct{ err error }
+
+func (f failingCreates) CreateFault() error { return f.err }
+
+func TestCreateFault(t *testing.T) {
+	env, cr := cpuRig()
+	injected := errors.New("boom")
+	env.Spawn("test", func(p *sim.Proc) {
+		cr.Prewarm(p, 2)
+		cr.Faults = failingCreates{err: injected}
+		if err := CreateOne(p, cr, Spec{ID: "a", FuncID: "f", Lang: lang.Python}); !errors.Is(err, injected) {
+			t.Errorf("Create err = %v, want injected fault", err)
+		}
+		// The fault fires before the pool is touched: the prepared
+		// containers survive for the retry.
+		if got := cr.PoolSize(); got != 2 {
+			t.Errorf("pool size after injected failure = %d, want 2", got)
+		}
+		if _, ok := cr.sandboxes["a"]; ok {
+			t.Error("failed create registered a sandbox")
+		}
+		cr.Faults = failingCreates{} // inert injector: create succeeds
+		if err := CreateOne(p, cr, Spec{ID: "a", FuncID: "f", Lang: lang.Python}); err != nil {
+			t.Errorf("create with inert injector: %v", err)
+		}
+		if got := cr.PoolSize(); got != 1 {
+			t.Errorf("pool size after successful create = %d, want 1", got)
+		}
+	})
+	env.Run()
+}

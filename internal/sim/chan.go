@@ -27,6 +27,10 @@ type recvResult[T any] struct {
 	ok  bool
 }
 
+// closedSend is the resume payload delivered to a parked sender when the
+// channel closes underneath it.
+type closedSend struct{}
+
 // NewChan returns a simulated channel with the given buffer capacity.
 func NewChan[T any](env *Env, capacity int) *Chan[T] {
 	if capacity < 0 {
@@ -44,8 +48,10 @@ func (c *Chan[T]) Cap() int { return c.cap }
 // Closed reports whether the channel has been closed.
 func (c *Chan[T]) Closed() bool { return c.closed }
 
-// Close closes the channel. Parked receivers are woken with ok=false.
-// Sending on a closed channel panics, as with native channels.
+// Close closes the channel. Parked receivers are woken with ok=false, and
+// parked senders are woken with a closed-channel signal: their value is
+// dropped, Send panics (like native channels) and SendOrClosed returns
+// false.
 func (c *Chan[T]) Close() {
 	if c.closed {
 		return
@@ -56,28 +62,53 @@ func (c *Chan[T]) Close() {
 	for _, w := range waiters {
 		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: recvResult[T]{ok: false}})
 	}
+	senders := c.sendq
+	c.sendq = nil
+	for _, w := range senders {
+		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: closedSend{}})
+	}
 }
 
 // Send delivers v on the channel, parking p until a receiver or buffer slot
-// is available.
+// is available. Sending on a closed channel — including a channel closed
+// while the sender was parked — panics, as with native channels.
 func (c *Chan[T]) Send(p *Proc, v T) {
-	if c.closed {
+	if !c.send(p, v) {
 		panic("sim: send on closed channel")
+	}
+}
+
+// SendOrClosed is Send for callers that must survive a concurrent Close: it
+// reports whether the value was delivered, returning false instead of
+// panicking when the channel is closed — whether upfront or while the
+// sender was parked on a full buffer.
+func (c *Chan[T]) SendOrClosed(p *Proc, v T) bool {
+	return c.send(p, v)
+}
+
+// send delivers v, reporting false if the channel was (or became) closed.
+func (c *Chan[T]) send(p *Proc, v T) bool {
+	if c.closed {
+		return false
 	}
 	// A waiting receiver takes the value directly.
 	if len(c.recvq) > 0 {
 		w := c.recvq[0]
 		c.recvq = c.recvq[1:]
 		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
-		return
+		return true
 	}
 	if len(c.buf) < c.cap {
 		c.buf = append(c.buf, v)
-		return
+		return true
 	}
-	// Block until a receiver drains us.
+	// Block until a receiver drains us — or Close wakes us empty-handed.
 	c.sendq = append(c.sendq, &sendWaiter[T]{p: p, val: v})
-	p.park()
+	msg := p.park()
+	if _, wasClosed := msg.val.(closedSend); wasClosed {
+		return false
+	}
+	return true
 }
 
 // TrySend delivers v without blocking; it reports whether the value was

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+// A sender parked on a full buffer must be woken by Close instead of
+// hanging forever — the race behind the XPU-FIFO close bug.
+func TestCloseWakesBlockedSender(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 1)
+	var sent, woke bool
+	env.Spawn("writer", func(p *Proc) {
+		if !ch.SendOrClosed(p, 1) {
+			t.Error("first send should fit the buffer")
+		}
+		sent = ch.SendOrClosed(p, 2) // parks: buffer full, no receiver
+		woke = true
+	})
+	env.Spawn("closer", func(p *Proc) {
+		p.Sleep(10)
+		ch.Close()
+	})
+	env.Run()
+	if !woke {
+		t.Fatal("blocked sender never woke after Close")
+	}
+	if sent {
+		t.Error("send woken by Close reported delivery")
+	}
+	if got := env.BlockedProcs(); len(got) != 0 {
+		t.Errorf("blocked procs after Close: %v", got)
+	}
+}
+
+func TestCloseWakesBlockedSendPanics(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	var panicked bool
+	env.Spawn("writer", func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+			}
+		}()
+		ch.Send(p, 1) // rendezvous: parks with no receiver
+	})
+	env.Spawn("closer", func(p *Proc) {
+		p.Sleep(10)
+		ch.Close()
+	})
+	env.Run()
+	if !panicked {
+		t.Error("Send woken by Close should panic like a native closed-channel send")
+	}
+}
+
+func TestSendOrClosedUpfront(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 4)
+	env.Spawn("writer", func(p *Proc) {
+		ch.Close()
+		if ch.SendOrClosed(p, 1) {
+			t.Error("SendOrClosed on an already-closed channel reported delivery")
+		}
+		if ch.Len() != 0 {
+			t.Error("value leaked into a closed channel's buffer")
+		}
+	})
+	env.Run()
+}
+
+// A sender woken by a receiver (the normal path) still reports delivery.
+func TestSendOrClosedDeliveredAfterPark(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	env.Spawn("writer", func(p *Proc) {
+		if !ch.SendOrClosed(p, 7) {
+			t.Error("rendezvous send should report delivery")
+		}
+	})
+	env.Spawn("reader", func(p *Proc) {
+		p.Sleep(5)
+		if v, ok := ch.Recv(p); !ok || v != 7 {
+			t.Errorf("Recv = (%d, %v), want (7, true)", v, ok)
+		}
+	})
+	env.Run()
+}

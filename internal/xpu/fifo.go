@@ -44,6 +44,16 @@ type XPUFIFO struct {
 // Len reports queued messages.
 func (f *XPUFIFO) Len() int { return f.ch.Len() }
 
+// homeHost resolves the physical PU hosting a FIFO's queue: the home node's
+// host PU. For FIFOs homed on an accelerator's virtual node the queue lives
+// in the neighbor host's memory, so that is where transfers terminate.
+func (s *Shim) homeHost(f *XPUFIFO) hw.PUID {
+	if n := s.nodes[f.Home]; n != nil {
+		return n.Host.ID
+	}
+	return f.Home
+}
+
 // Closed reports whether the FIFO has been closed.
 func (f *XPUFIFO) Closed() bool { return f.closed }
 
@@ -62,6 +72,9 @@ func (fd *FD) UUID() string { return fd.fifo.UUID }
 // unique machine-wide, so creation synchronizes immediately with all other
 // nodes (§5 "Immediate synchronization").
 func (n *Node) FIFOInit(p *sim.Proc, caller XPID, uuid string, capacity int) (*FD, error) {
+	if err := n.failfast(); err != nil {
+		return nil, err
+	}
 	n.xcall(p)
 	if _, exists := n.Shim.fifos[uuid]; exists {
 		return nil, fmt.Errorf("xpu: FIFO UUID %q already in use", uuid)
@@ -82,6 +95,9 @@ func (n *Node) FIFOInit(p *sim.Proc, caller XPID, uuid string, capacity int) (*F
 // FIFOConnect implements xfifo_connect: attach to an existing XPU-FIFO by
 // global UUID. The caller must hold read or write permission.
 func (n *Node) FIFOConnect(p *sim.Proc, caller XPID, uuid string) (*FD, error) {
+	if err := n.failfast(); err != nil {
+		return nil, err
+	}
 	n.xcall(p)
 	f, ok := n.Shim.fifos[uuid]
 	if !ok || f.closed {
@@ -95,10 +111,19 @@ func (n *Node) FIFOConnect(p *sim.Proc, caller XPID, uuid string) (*FD, error) {
 }
 
 // Write implements xfifo_write. The caller must hold write permission.
-// When the writer's PU is not the FIFO's home, the payload crosses the
-// interconnect link between the two PUs.
+// When the writer's hosting PU is not the PU hosting the FIFO's queue, the
+// payload crosses the interconnect link between those two physical PUs —
+// the same PU the remote-path guard tests, so a virtual node whose FIFO
+// lives on its own host charges nothing, and one whose host differs from
+// its logical PU charges the actual host-to-home link.
 func (fd *FD) Write(p *sim.Proc, m localos.Message) error {
 	n := fd.node
+	if err := n.failfast(); err != nil {
+		return err
+	}
+	if n.Shim.down(fd.fifo.Home) {
+		return fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
+	}
 	n.xcall(p)
 	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
 	if !n.Shim.HasCap(fd.pid, obj, PermWrite) {
@@ -107,22 +132,31 @@ func (fd *FD) Write(p *sim.Proc, m localos.Message) error {
 	if fd.fifo.closed {
 		return fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
 	}
-	if n.PU.ID != fd.fifo.Home {
-		if _, err := n.Shim.Machine.Transfer(p, n.Host.ID, fd.fifo.Home, m.Size()); err != nil {
+	home := n.Shim.homeHost(fd.fifo)
+	if n.Host.ID != home {
+		if _, err := n.Shim.Machine.Transfer(p, n.Host.ID, home, m.Size()); err != nil {
 			return err
 		}
-		n.Shim.recordNIPC(n.Host.ID, fd.fifo.Home, m.Size())
+		n.Shim.recordNIPC(n.Host.ID, home, m.Size())
 	}
-	fd.fifo.ch.Send(p, m)
+	if !fd.fifo.ch.SendOrClosed(p, m) {
+		return fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
+	}
 	n.Shim.recordDepth(fd.fifo)
 	return nil
 }
 
 // Read implements xfifo_read, blocking until a message is available. The
-// caller must hold read permission. Remote readers pull the payload across
-// the interconnect.
+// caller must hold read permission. Readers hosted away from the queue's
+// physical home pull the payload across the interconnect.
 func (fd *FD) Read(p *sim.Proc) (localos.Message, error) {
 	n := fd.node
+	if err := n.failfast(); err != nil {
+		return localos.Message{}, err
+	}
+	if n.Shim.down(fd.fifo.Home) {
+		return localos.Message{}, fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
+	}
 	n.xcall(p)
 	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
 	if !n.Shim.HasCap(fd.pid, obj, PermRead) {
@@ -133,11 +167,12 @@ func (fd *FD) Read(p *sim.Proc) (localos.Message, error) {
 		return localos.Message{}, fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
 	}
 	n.Shim.recordDepth(fd.fifo)
-	if n.PU.ID != fd.fifo.Home {
-		if _, err := n.Shim.Machine.Transfer(p, fd.fifo.Home, n.Host.ID, m.Size()); err != nil {
+	home := n.Shim.homeHost(fd.fifo)
+	if n.Host.ID != home {
+		if _, err := n.Shim.Machine.Transfer(p, home, n.Host.ID, m.Size()); err != nil {
 			return localos.Message{}, err
 		}
-		n.Shim.recordNIPC(fd.fifo.Home, n.Host.ID, m.Size())
+		n.Shim.recordNIPC(home, n.Host.ID, m.Size())
 	}
 	return m, nil
 }
@@ -147,6 +182,9 @@ func (fd *FD) Read(p *sim.Proc) (localos.Message, error) {
 // UUID is harmless (§5 "Lazy synchronization").
 func (fd *FD) Close(p *sim.Proc) error {
 	n := fd.node
+	if err := n.failfast(); err != nil {
+		return err
+	}
 	n.xcall(p)
 	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
 	if !n.Shim.HasCap(fd.pid, obj, PermOwner) {
@@ -172,6 +210,12 @@ type SpawnBody func(p *sim.Proc, node *Node, self *localos.Process)
 // (no implicit permission inheritance, §3.4). It returns the child's
 // xpu_pid.
 func (n *Node) XSpawn(p *sim.Proc, targetPU hw.PUID, name string, capv map[ObjID]Perm, body SpawnBody) (XPID, error) {
+	if err := n.failfast(); err != nil {
+		return XPID{}, err
+	}
+	if n.Shim.down(targetPU) {
+		return XPID{}, fmt.Errorf("xpu: spawn target PU %d: %w", targetPU, ErrNodeDown)
+	}
 	n.xcall(p)
 	target := n.Shim.Node(targetPU)
 	if target == nil {

@@ -1,0 +1,205 @@
+package xpu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/localos"
+	"repro/internal/obs"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// accelRig extends the CPU+DPU rig with an FPGA whose shim node is virtual,
+// hosted on the CPU — the configuration that exposed the remote-path guard
+// mismatch.
+type accelRig struct {
+	*rig
+	fpgaNode *Node
+	fpgaXPID XPID
+}
+
+func newAccelRig(t *testing.T) *accelRig {
+	t.Helper()
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{DPUs: 1, FPGAs: 1})
+	shim := NewShim(env, m)
+	cpuOS := localos.New(env, m.PU(0))
+	dpuOS := localos.New(env, m.PU(1))
+	cn := shim.AddNode(m.PU(0), cpuOS)
+	dn := shim.AddNode(m.PU(1), dpuOS)
+	fn := shim.AddVirtualNode(m.PU(2), m.PU(0), cpuOS)
+	r := &rig{env: env, m: m, shim: shim, cpuNode: cn, dpuNode: dn}
+	r.cpuProc = cpuOS.NewDetachedProcess("cpu-app")
+	r.dpuProc = dpuOS.NewDetachedProcess("dpu-app")
+	r.cpuXPID = cn.Register(r.cpuProc)
+	r.dpuXPID = dn.Register(r.dpuProc)
+	ar := &accelRig{rig: r, fpgaNode: fn}
+	fpgaProc := cpuOS.NewDetachedProcess("fpga-app")
+	ar.fpgaXPID = fn.Register(fpgaProc)
+	return ar
+}
+
+// A virtual node (FPGA logical PU, CPU host) accessing a FIFO homed on its
+// own host must be a local operation: the old guard compared the *logical*
+// PU against the home and charged a spurious CPU->CPU self-transfer.
+func TestVirtualNodeLocalFIFOChargesNoTransfer(t *testing.T) {
+	r := newAccelRig(t)
+	r.shim.Obs = obs.New(r.env)
+	r.env.Spawn("test", func(p *sim.Proc) {
+		fd, err := r.cpuNode.FIFOInit(p, r.cpuXPID, "f", 4) // Home = CPU (PU 0)
+		if err != nil {
+			t.Fatalf("FIFOInit: %v", err)
+		}
+		r.shim.grantLocal(r.fpgaXPID, ObjID{Kind: "fifo", UUID: "f"}, PermRead|PermWrite)
+		vfd, err := r.fpgaNode.FIFOConnect(p, r.fpgaXPID, "f")
+		if err != nil {
+			t.Fatalf("FIFOConnect: %v", err)
+		}
+
+		start := r.env.Now()
+		if err := vfd.Write(p, localos.Message{Payload: make([]byte, 64)}); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		elapsed := r.env.Now().Sub(start)
+		// Virtual nodes run Base transport on their CPU host; a local write
+		// costs exactly one XPUcall — any extra time is the spurious
+		// self-transfer the old guard charged.
+		if want := TransportBase.CallOverhead(hw.CPU); elapsed != want {
+			t.Errorf("virtual-node local write took %v, want bare XPUcall %v", elapsed, want)
+		}
+		if got := r.shim.Obs.Counter("xpu_nipc_messages_total", obs.L("link", "0->0")).Value(); got != 0 {
+			t.Errorf("local write recorded %d self-link nIPC messages", got)
+		}
+		if _, err := fd.Read(p); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	})
+	r.env.Run()
+}
+
+// A FIFO homed on a virtual node physically lives in the host's memory, so
+// a remote writer must charge the link to the *host*, not to the
+// accelerator's logical PU (the old code charged DPU->FPGA, a
+// CPU-intercepted two-hop link, instead of the direct DPU->CPU RDMA link).
+func TestFIFOOnVirtualNodeChargesHostLink(t *testing.T) {
+	r := newAccelRig(t)
+	r.shim.Obs = obs.New(r.env)
+	r.env.Spawn("test", func(p *sim.Proc) {
+		_, err := r.fpgaNode.FIFOInit(p, r.fpgaXPID, "vf", 4) // Home = FPGA (PU 2), hosted on CPU (PU 0)
+		if err != nil {
+			t.Fatalf("FIFOInit: %v", err)
+		}
+		r.shim.grantLocal(r.dpuXPID, ObjID{Kind: "fifo", UUID: "vf"}, PermWrite)
+		dfd, err := r.dpuNode.FIFOConnect(p, r.dpuXPID, "vf")
+		if err != nil {
+			t.Fatalf("FIFOConnect: %v", err)
+		}
+
+		start := r.env.Now()
+		if err := dfd.Write(p, localos.Message{}); err != nil { // 0-byte payload: base latency only
+			t.Fatalf("Write: %v", err)
+		}
+		elapsed := r.env.Now().Sub(start)
+		// DPU -> CPU host is one RDMA hop; the old endpoints (DPU -> FPGA)
+		// would charge the CPU-intercepted RDMA+DMA path.
+		want := r.dpuNode.Mode.CallOverhead(hw.DPU) + params.RDMABaseLatency
+		if elapsed != want {
+			t.Errorf("remote write to virtual-node FIFO took %v, want XPUcall+RDMA %v", elapsed, want)
+		}
+		if got := r.shim.Obs.Counter("xpu_nipc_messages_total", obs.L("link", "1->0")).Value(); got != 1 {
+			t.Errorf("nIPC recorded on 1->0 = %d, want 1 (the physical DPU->host link)", got)
+		}
+		if got := r.shim.Obs.Counter("xpu_nipc_messages_total", obs.L("link", "1->2")).Value(); got != 0 {
+			t.Errorf("nIPC recorded on logical link 1->2 = %d, want 0", got)
+		}
+	})
+	r.env.Run()
+}
+
+// Closing a FIFO while a writer is parked on its full buffer must wake the
+// writer with a closed error instead of leaving it parked forever.
+func TestFIFOCloseWakesBlockedWriter(t *testing.T) {
+	r := newRig(t)
+	var fd *FD
+	var writeErr = errors.New("unset")
+	r.env.Spawn("setup", func(p *sim.Proc) {
+		var err error
+		fd, err = r.cpuNode.FIFOInit(p, r.cpuXPID, "f", 1)
+		if err != nil {
+			t.Fatalf("FIFOInit: %v", err)
+		}
+		if err := fd.Write(p, localos.Message{Kind: "fill"}); err != nil {
+			t.Fatalf("fill write: %v", err)
+		}
+		r.env.Spawn("blocked-writer", func(wp *sim.Proc) {
+			writeErr = fd.Write(wp, localos.Message{Kind: "stuck"}) // parks: buffer full
+		})
+		p.Sleep(params.XPUCallIPCRoundTripCPU * 100) // let the writer park
+		if err := fd.Close(p); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+	r.env.Run()
+	if writeErr == nil {
+		t.Error("write woken by Close reported success")
+	} else if writeErr.Error() == "unset" {
+		t.Error("blocked writer never completed")
+	}
+	if blocked := r.env.BlockedProcs(); len(blocked) != 0 {
+		t.Errorf("procs still parked after Close: %v", blocked)
+	}
+}
+
+// Every XPU operation against a crashed node must fail fast with
+// ErrNodeDown — no time charged, no hang on handlers that will never run.
+func TestOpsAgainstDownNodeFailFast(t *testing.T) {
+	r := newRig(t)
+	plan := faults.NewPlan(r.env, 1)
+	r.shim.Faults = plan
+	r.env.Spawn("test", func(p *sim.Proc) {
+		dfd, err := r.dpuNode.FIFOInit(p, r.dpuXPID, "df", 1)
+		if err != nil {
+			t.Fatalf("FIFOInit: %v", err)
+		}
+		plan.Kill(1)
+		start := r.env.Now()
+		check := func(op string, err error) {
+			if !errors.Is(err, ErrNodeDown) {
+				t.Errorf("%s against down PU: err = %v, want ErrNodeDown", op, err)
+			}
+		}
+		check("Write", dfd.Write(p, localos.Message{}))
+		_, err = dfd.Read(p)
+		check("Read", err)
+		_, err = r.dpuNode.FIFOInit(p, r.dpuXPID, "df2", 1)
+		check("FIFOInit", err)
+		_, err = r.dpuNode.FIFOConnect(p, r.dpuXPID, "df")
+		check("FIFOConnect", err)
+		_, err = r.cpuNode.XSpawn(p, 1, "child", nil, nil)
+		check("XSpawn to down PU", err)
+		check("GrantCap", r.dpuNode.GrantCap(p, r.dpuXPID, r.cpuXPID, ObjID{Kind: "fifo", UUID: "df"}, PermRead))
+		check("RevokeCap", r.dpuNode.RevokeCap(p, r.dpuXPID, r.cpuXPID, ObjID{Kind: "fifo", UUID: "df"}, PermRead))
+		check("Close", dfd.Close(p))
+		if elapsed := r.env.Now().Sub(start); elapsed != 0 {
+			t.Errorf("fail-fast ops charged %v of virtual time", elapsed)
+		}
+
+		// A FIFO homed on a crashed PU rejects access from live nodes too.
+		r.shim.grantLocal(r.cpuXPID, ObjID{Kind: "fifo", UUID: "df"}, PermRead|PermWrite)
+		cfd, err := r.cpuNode.FIFOConnect(p, r.cpuXPID, "df")
+		if err != nil {
+			t.Fatalf("FIFOConnect from CPU: %v", err)
+		}
+		check("Write to FIFO on down home", cfd.Write(p, localos.Message{}))
+
+		// Revive: everything works again.
+		plan.Revive(1)
+		if err := cfd.Write(p, localos.Message{}); err != nil {
+			t.Errorf("write after revive: %v", err)
+		}
+	})
+	r.env.Run()
+}

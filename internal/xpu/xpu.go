@@ -21,6 +21,7 @@
 package xpu
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -30,6 +31,18 @@ import (
 	"repro/internal/params"
 	"repro/internal/sim"
 )
+
+// ErrNodeDown marks an XPUcall or FIFO operation against a crashed PU.
+// Operations fail fast with this error instead of hanging on a node that
+// will never answer.
+var ErrNodeDown = errors.New("xpu: node down")
+
+// FaultView is the shim's read-only view of a fault plan. Declared
+// consumer-side so xpu need not import the faults package; *faults.Plan
+// implements it.
+type FaultView interface {
+	Down(id hw.PUID) bool
+}
 
 // XPID is a globally unique process identifier: the PU's ID plus the
 // process's UUID (PID) on the local OS. The encoding statically partitions
@@ -139,6 +152,10 @@ type Shim struct {
 	// Obs, when non-nil, records per-link nIPC traffic counters and FIFO
 	// depth gauges. Nil (the default) costs nothing on the data path.
 	Obs *obs.Observer
+
+	// Faults, when non-nil, lets XPUcalls against crashed PUs fail fast
+	// with ErrNodeDown. Nil keeps every path byte-identical.
+	Faults FaultView
 }
 
 // NewShim creates a shim over the machine with no nodes yet.
@@ -218,6 +235,22 @@ func (n *Node) SetHandlerThreads(threads int) {
 
 // HandlerThreads reports the configured handler thread count.
 func (n *Node) HandlerThreads() int { return n.handlers.Capacity() }
+
+// down reports whether the fault plan (if any) has PU id crashed now.
+func (s *Shim) down(id hw.PUID) bool { return s.Faults != nil && s.Faults.Down(id) }
+
+// failfast returns ErrNodeDown when this node cannot answer an XPUcall:
+// its PU is crashed, or — for a virtual node — the neighbor PU hosting the
+// shim instance is crashed.
+func (n *Node) failfast() error {
+	if n.Shim.down(n.PU.ID) {
+		return fmt.Errorf("xpu: PU %d: %w", n.PU.ID, ErrNodeDown)
+	}
+	if n.Virtual() && n.Shim.down(n.Host.ID) {
+		return fmt.Errorf("xpu: host PU %d: %w", n.Host.ID, ErrNodeDown)
+	}
+	return nil
+}
 
 // xcall charges the user↔shim XPUcall transport cost on this node; the
 // shim-side handling portion contends on the handler threads.
@@ -304,6 +337,9 @@ func (s *Shim) HasCap(x XPID, obj ObjID, perm Perm) bool {
 // The caller must hold PermOwner on obj. The update is synchronized to all
 // nodes immediately.
 func (n *Node) GrantCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm) error {
+	if err := n.failfast(); err != nil {
+		return err
+	}
 	n.xcall(p)
 	if !n.Shim.HasCap(caller, obj, PermOwner) {
 		return fmt.Errorf("xpu: %v is not an owner of %v", caller, obj)
@@ -315,6 +351,9 @@ func (n *Node) GrantCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm) 
 
 // RevokeCap implements revoke_cap.
 func (n *Node) RevokeCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm) error {
+	if err := n.failfast(); err != nil {
+		return err
+	}
 	n.xcall(p)
 	if !n.Shim.HasCap(caller, obj, PermOwner) {
 		return fmt.Errorf("xpu: %v is not an owner of %v", caller, obj)
