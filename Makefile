@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race chaos bench microbench perfjson report report-md golden trace-demo examples clean
+.PHONY: all check build vet test race chaos bench microbench bench-smoke perfjson nipcjson report report-md golden trace-demo examples clean
 
 all: check
 
@@ -32,13 +32,27 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Kernel-only microbenchmarks (ns/op and allocs/op for Sleep, Spawn, Chan).
+# Fast-path microbenchmarks: the sim kernel, the nIPC FIFO write path
+# (ns/op and allocs/op), and a warm Molecule invocation end to end.
 microbench:
 	$(GO) test ./internal/sim -bench 'Kernel|ChanPingPong' -benchmem -run xxx
+	$(GO) test ./internal/xpu -bench 'FIFOWrite' -benchmem -run xxx
+	$(GO) test ./internal/molecule -bench 'InvokeWarm' -benchmem -run xxx
+
+# One iteration of every microbenchmark — a CI smoke test that the bench
+# rigs still build and run, without paying for stable numbers.
+bench-smoke:
+	$(GO) test ./internal/sim -bench 'Kernel|ChanPingPong' -benchtime 1x -run xxx
+	$(GO) test ./internal/xpu -bench 'FIFOWrite' -benchtime 1x -run xxx
+	$(GO) test ./internal/molecule -bench 'InvokeWarm' -benchtime 1x -run xxx
 
 # Regenerate the machine-readable perf snapshot (BENCH_kernel.json).
 perfjson:
 	$(GO) run ./cmd/molecule-bench -timing -json BENCH_kernel.json > /dev/null
+
+# Regenerate the batched-nIPC amortization snapshot (BENCH_nipc.json).
+nipcjson:
+	$(GO) run ./cmd/molecule-bench -nipc BENCH_nipc.json > /dev/null
 
 # Regenerate every paper table/figure (plus ablations) to stdout.
 report:

@@ -90,7 +90,28 @@ func main() {
 	tracePath := flag.String("trace", "", "run the observability demo workload and write its Chrome trace JSON to this `file` (\"-\" = stdout), then exit")
 	metricsPath := flag.String("metrics", "", "run the observability demo workload and write its Prometheus metrics to this `file` (\"-\" = stdout), then exit")
 	chaosSeed := flag.Uint64("chaos", 0, "run the seeded chaos soak demo (kill/revive + fault injection) and exit (0 = off)")
+	nipcPath := flag.String("nipc", "", "run the batched-nIPC sweep, print its tables, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
 	flag.Parse()
+
+	if *nipcPath != "" {
+		sweeps := bench.NIPCBatch()
+		for _, t := range bench.NIPCBatchTables(sweeps) {
+			t.Fprint(os.Stdout)
+		}
+		if *nipcPath != "-" {
+			buf, err := json.MarshalIndent(sweeps, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*nipcPath, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *nipcPath)
+		}
+		return
+	}
 
 	if *chaosSeed != 0 {
 		if err := bench.ChaosDemo(os.Stdout, *chaosSeed); err != nil {

@@ -84,6 +84,59 @@ func TestTransferAdvancesClock(t *testing.T) {
 	}
 }
 
+// TestTransferBatchAmortizesBase pins the vectorized-transfer contract: one
+// base latency for the whole batch, every byte still charged, and the same
+// error on a missing link.
+func TestTransferBatchAmortizesBase(t *testing.T) {
+	env, m := testMachine(t, Config{DPUs: 1})
+	sizes := []int{4096, 4096, 4096, 4096}
+	var batched, single sim.Time
+	env.Spawn("xfer", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := m.TransferBatch(p, 0, 1, sizes); err != nil {
+			t.Error(err)
+		}
+		batched = p.Now() - start
+		start = p.Now()
+		for _, n := range sizes {
+			if _, err := m.Transfer(p, 0, 1, n); err != nil {
+				t.Error(err)
+			}
+		}
+		single = p.Now() - start
+		// Empty batches are free and still report the link.
+		start = p.Now()
+		if l, err := m.TransferBatch(p, 0, 1, nil); err != nil || l.Kind != LinkRDMA {
+			t.Errorf("empty batch: link %v err %v", l.Kind, err)
+		}
+		if p.Now() != start {
+			t.Error("empty batch charged time")
+		}
+	})
+	env.Run()
+	l := Link{Kind: LinkRDMA, BaseLat: params.RDMABaseLatency, Bandwith: params.RDMABandwidth}
+	if want := l.TransferTime(4 * 4096); time.Duration(batched) != want {
+		t.Errorf("batched transfer took %v, want %v", time.Duration(batched), want)
+	}
+	if want := 4 * l.TransferTime(4096); time.Duration(single) != want {
+		t.Errorf("per-message transfers took %v, want %v", time.Duration(single), want)
+	}
+	if batched >= single {
+		t.Errorf("batching did not amortize: %v >= %v", batched, single)
+	}
+
+	env2 := sim.NewEnv()
+	m2 := NewMachine(env2)
+	m2.AddPU(&PU{Kind: CPU})
+	m2.AddPU(&PU{Kind: DPU})
+	env2.Spawn("x", func(p *sim.Proc) {
+		if _, err := m2.TransferBatch(p, 0, 1, []int{1}); err == nil {
+			t.Error("batch over missing link succeeded")
+		}
+	})
+	env2.Run()
+}
+
 func TestTransferNoLink(t *testing.T) {
 	env := sim.NewEnv()
 	m := NewMachine(env)

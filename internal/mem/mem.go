@@ -8,32 +8,88 @@
 // instances share template pages, so their PSS (proportional set size) is
 // lower than plainly-booted instances even though RSS (resident set size)
 // can be slightly higher due to the template's own footprint.
+//
+// Representation: instead of a map from virtual page number to a heap-allocated
+// page, an address space holds a short sorted list of mappings, each a window
+// into an extent — a contiguous run of per-page reference counts shared by
+// every address space that maps it. Fork is one slice copy plus refcount
+// increments over each window (no per-page allocation or map churn), which is
+// what makes the cfork-heavy density experiments cheap in wall-clock time.
+// The observable semantics (fault counts, RSS, PSS, shared-page counts) are
+// identical to the per-page model.
 package mem
 
-// Page is a physical page shared by one or more address spaces.
-type Page struct {
-	refs int
+// extent is a contiguous run of physical pages. refs[i] counts how many
+// address spaces currently map page i of the extent; a page with refs 0 is
+// orphaned and never counted again.
+type extent struct {
+	refs []int32
 }
 
-// AddressSpace is a process's page table: a map from virtual page number to
-// the physical page backing it.
+// mapping is a window of an extent mapped at a contiguous virtual range:
+// virtual page vpn+i is backed by ext.refs[off+i] for i in [0, n).
+type mapping struct {
+	vpn int
+	n   int
+	off int
+	ext *extent
+}
+
+// AddressSpace is a process's page table: a sorted, non-overlapping list of
+// extent windows.
 type AddressSpace struct {
-	pages map[int]*Page
-	next  int // next unused virtual page number for Map allocations
+	maps []mapping
+	next int // next unused virtual page number for Map allocations
 }
 
 // NewAddressSpace returns an empty address space.
 func NewAddressSpace() *AddressSpace {
-	return &AddressSpace{pages: make(map[int]*Page)}
+	return &AddressSpace{}
+}
+
+func newExtent(n int) *extent {
+	e := &extent{refs: make([]int32, n)}
+	for i := range e.refs {
+		e.refs[i] = 1
+	}
+	return e
+}
+
+// search returns the index of the first mapping whose end lies beyond vpn —
+// the mapping containing vpn if one exists, otherwise the insertion point.
+func (as *AddressSpace) search(vpn int) int {
+	lo, hi := 0, len(as.maps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if as.maps[mid].vpn+as.maps[mid].n <= vpn {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// splice replaces as.maps[i] with the given replacement mappings.
+func (as *AddressSpace) splice(i int, repl ...mapping) {
+	tail := as.maps[i+1:]
+	out := make([]mapping, 0, len(as.maps)-1+len(repl))
+	out = append(out, as.maps[:i]...)
+	out = append(out, repl...)
+	out = append(out, tail...)
+	as.maps = out
 }
 
 // Map allocates n fresh private pages and returns the first virtual page
 // number of the contiguous run.
 func (as *AddressSpace) Map(n int) int {
 	start := as.next
-	for i := 0; i < n; i++ {
-		as.pages[as.next] = &Page{refs: 1}
-		as.next++
+	if n > 0 {
+		// as.next never lies inside an existing mapping (Map and demand
+		// paging both advance it past what they touch), so appending keeps
+		// the list sorted.
+		as.maps = append(as.maps, mapping{vpn: start, n: n, off: 0, ext: newExtent(n)})
+		as.next += n
 	}
 	return start
 }
@@ -41,21 +97,51 @@ func (as *AddressSpace) Map(n int) int {
 // Unmap releases n pages starting at virtual page vpn. Unmapping a hole is
 // a no-op for the missing pages.
 func (as *AddressSpace) Unmap(vpn, n int) {
-	for i := 0; i < n; i++ {
-		if pg, ok := as.pages[vpn+i]; ok {
-			pg.refs--
-			delete(as.pages, vpn+i)
+	end := vpn + n
+	cur := vpn
+	for cur < end {
+		i := as.search(cur)
+		if i >= len(as.maps) {
+			return
 		}
+		m := as.maps[i]
+		if m.vpn >= end {
+			return
+		}
+		if cur < m.vpn {
+			cur = m.vpn
+		}
+		chunkEnd := m.vpn + m.n
+		if end < chunkEnd {
+			chunkEnd = end
+		}
+		for p := cur; p < chunkEnd; p++ {
+			m.ext.refs[m.off+p-m.vpn]--
+		}
+		lo := cur - m.vpn
+		hi := m.vpn + m.n - chunkEnd
+		var repl []mapping
+		if lo > 0 {
+			repl = append(repl, mapping{vpn: m.vpn, n: lo, off: m.off, ext: m.ext})
+		}
+		if hi > 0 {
+			repl = append(repl, mapping{vpn: chunkEnd, n: hi, off: m.off + m.n - hi, ext: m.ext})
+		}
+		as.splice(i, repl...)
+		cur = chunkEnd
 	}
 }
 
 // Fork returns a copy-on-write clone: every page is shared with the parent
 // and each side's first write will privatize its copy.
 func (as *AddressSpace) Fork() *AddressSpace {
-	child := &AddressSpace{pages: make(map[int]*Page, len(as.pages)), next: as.next}
-	for vpn, pg := range as.pages {
-		pg.refs++
-		child.pages[vpn] = pg
+	child := &AddressSpace{maps: make([]mapping, len(as.maps)), next: as.next}
+	copy(child.maps, as.maps)
+	for _, m := range as.maps {
+		refs := m.ext.refs[m.off : m.off+m.n]
+		for i := range refs {
+			refs[i]++
+		}
 	}
 	return child
 }
@@ -65,46 +151,119 @@ func (as *AddressSpace) Fork() *AddressSpace {
 // of COW faults), which the OS model converts into fault latency.
 func (as *AddressSpace) Write(vpn, n int) int {
 	faults := 0
-	for i := 0; i < n; i++ {
-		pg, ok := as.pages[vpn+i]
-		if !ok {
-			// Write to an unmapped page allocates it (demand paging).
-			as.pages[vpn+i] = &Page{refs: 1}
-			if vpn+i >= as.next {
-				as.next = vpn + i + 1
-			}
-			faults++
+	end := vpn + n
+	cur := vpn
+	for cur < end {
+		i := as.search(cur)
+		if i == len(as.maps) || as.maps[i].vpn >= end {
+			// Pure hole until end: demand-page it in one extent.
+			faults += end - cur
+			as.demandPage(i, cur, end)
+			cur = end
+			break
+		}
+		m := as.maps[i]
+		if cur < m.vpn {
+			// Hole before the next mapping.
+			faults += m.vpn - cur
+			as.demandPage(i, cur, m.vpn)
+			cur = m.vpn
 			continue
 		}
-		if pg.refs > 1 {
-			pg.refs--
-			as.pages[vpn+i] = &Page{refs: 1}
-			faults++
+		chunkEnd := m.vpn + m.n
+		if end < chunkEnd {
+			chunkEnd = end
 		}
+		refs := m.ext.refs[m.off+cur-m.vpn : m.off+chunkEnd-m.vpn]
+		shared := false
+		for _, r := range refs {
+			if r > 1 {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			// Every page already private: a re-write is free.
+			cur = chunkEnd
+			continue
+		}
+		// Privatize the written window: shared pages COW-fault into the new
+		// extent; already-private pages migrate with their count intact
+		// (refs 1 -> this space is the sole owner, so the old slot orphans
+		// to 0 and the page is simply re-homed).
+		ne := &extent{refs: make([]int32, len(refs))}
+		for j, r := range refs {
+			if r > 1 {
+				refs[j]--
+				faults++
+			} else {
+				refs[j] = 0
+			}
+			ne.refs[j] = 1
+		}
+		lo := cur - m.vpn
+		hi := m.vpn + m.n - chunkEnd
+		repl := make([]mapping, 0, 3)
+		if lo > 0 {
+			repl = append(repl, mapping{vpn: m.vpn, n: lo, off: m.off, ext: m.ext})
+		}
+		repl = append(repl, mapping{vpn: cur, n: chunkEnd - cur, off: 0, ext: ne})
+		if hi > 0 {
+			repl = append(repl, mapping{vpn: chunkEnd, n: hi, off: m.off + m.n - hi, ext: m.ext})
+		}
+		as.splice(i, repl...)
+		cur = chunkEnd
 	}
 	return faults
+}
+
+// demandPage maps [start, end) as fresh private pages, inserting the new
+// mapping at index i (the caller's search result for start).
+func (as *AddressSpace) demandPage(i, start, end int) {
+	as.splice2(i, mapping{vpn: start, n: end - start, off: 0, ext: newExtent(end - start)})
+	if end > as.next {
+		as.next = end
+	}
+}
+
+// splice2 inserts a mapping before index i (without replacing anything).
+func (as *AddressSpace) splice2(i int, m mapping) {
+	as.maps = append(as.maps, mapping{})
+	copy(as.maps[i+1:], as.maps[i:])
+	as.maps[i] = m
 }
 
 // Release drops every page mapping, decrementing shared reference counts.
 // The address space is empty (but reusable) afterwards.
 func (as *AddressSpace) Release() {
-	for vpn, pg := range as.pages {
-		pg.refs--
-		delete(as.pages, vpn)
+	for _, m := range as.maps {
+		refs := m.ext.refs[m.off : m.off+m.n]
+		for i := range refs {
+			refs[i]--
+		}
 	}
+	as.maps = nil
 }
 
 // RSSPages returns the resident set size in pages: every page mapped into
 // this address space, shared or not.
-func (as *AddressSpace) RSSPages() int { return len(as.pages) }
+func (as *AddressSpace) RSSPages() int {
+	n := 0
+	for _, m := range as.maps {
+		n += m.n
+	}
+	return n
+}
 
 // PSSPages returns the proportional set size in pages: each page counts
 // 1/refs, so shared pages are split among their sharers — the metric the
 // paper uses to show cfork's memory savings (Fig 11c).
 func (as *AddressSpace) PSSPages() float64 {
 	var pss float64
-	for _, pg := range as.pages {
-		pss += 1.0 / float64(pg.refs)
+	for _, m := range as.maps {
+		for _, r := range m.ext.refs[m.off : m.off+m.n] {
+			pss += 1.0 / float64(r)
+		}
 	}
 	return pss
 }
@@ -113,9 +272,11 @@ func (as *AddressSpace) PSSPages() float64 {
 // reference.
 func (as *AddressSpace) SharedPages() int {
 	n := 0
-	for _, pg := range as.pages {
-		if pg.refs > 1 {
-			n++
+	for _, m := range as.maps {
+		for _, r := range m.ext.refs[m.off : m.off+m.n] {
+			if r > 1 {
+				n++
+			}
 		}
 	}
 	return n

@@ -41,6 +41,14 @@ func DefaultProfile(kind hw.PUKind) Profile {
 type Deployment struct {
 	Fn       *workloads.Function
 	Profiles []Profile
+
+	// preferred caches the placement decision for repeat invocations: the
+	// first node the general-placement scan would consider for this
+	// deployment. Topology and profiles are fixed after Deploy, so this is
+	// static; placeGeneral still verifies the dynamic conditions (capacity,
+	// liveness) and falls back to the full scan when they fail, making the
+	// fast path provably identical to the scan.
+	preferred *puNode
 }
 
 // SupportsKind reports whether the deployment has a profile for kind.
@@ -87,7 +95,9 @@ func (rt *Runtime) Deploy(p *sim.Proc, funcName string, profiles ...Profile) err
 			}
 		}
 	}
-	rt.funcs[funcName] = &Deployment{Fn: fn, Profiles: profiles}
+	d := &Deployment{Fn: fn, Profiles: profiles}
+	d.preferred = rt.preferredNode(d)
+	rt.funcs[funcName] = d
 	// Accelerator profiles: install the function into the device image.
 	for _, pr := range profiles {
 		switch pr.Kind {
@@ -268,6 +278,28 @@ func (rt *Runtime) gpuSandboxFor(funcName string) (*puNode, string, error) {
 	return nil, "", fmt.Errorf("molecule: no running GPU sandbox for %q", funcName)
 }
 
+// generalKinds is the deterministic placement preference for container
+// functions: CPU first, then DPUs (hoisted so placeGeneral does not build
+// the slice per call).
+var generalKinds = [...]hw.PUKind{hw.CPU, hw.DPU}
+
+// preferredNode returns the first node the unpinned placement scan would
+// examine for d — the statically most-preferred host of its container
+// instances. Nil when no general-purpose PU matches the profiles.
+func (rt *Runtime) preferredNode(d *Deployment) *puNode {
+	for _, kind := range generalKinds {
+		if !d.SupportsKind(kind) {
+			continue
+		}
+		for _, pu := range rt.Machine.PUsOfKind(kind) {
+			if n := rt.nodes[pu.ID]; n != nil && n.cr != nil {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
 // placeGeneral picks a general-purpose PU for a new instance of d:
 // explicit pin if given, else the first profile kind with free capacity
 // (CPU first, then DPUs — matching the Fig 2a density experiment where DPU
@@ -289,10 +321,17 @@ func (rt *Runtime) placeGeneral(d *Deployment, pin hw.PUID) (*puNode, error) {
 		}
 		return n, nil
 	}
+	// Cached placement: the preferred node is by construction the first
+	// candidate the scan below would examine, so when it can take the
+	// instance right now the scan's answer is exactly it — returned here
+	// without walking the machine.
+	if n := d.preferred; n != nil && n.liveCount < n.capacity && !rt.puDown(n.pu.ID) {
+		return n, nil
+	}
 	// The kind-then-PU-ID scan is what makes failover deterministic: when a
 	// preferred PU is down, the placement lands on the lowest-ordered
 	// surviving PU with capacity.
-	for _, kind := range []hw.PUKind{hw.CPU, hw.DPU} {
+	for _, kind := range generalKinds {
 		if !d.SupportsKind(kind) {
 			continue
 		}

@@ -1,0 +1,228 @@
+package molecule
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// checkWarmTotal asserts the fn-indexed warm counter matches the actual pool
+// contents — the invariant popWarm's O(1) miss path depends on.
+func checkWarmTotal(t *testing.T, rt *Runtime, when string) {
+	t.Helper()
+	actual := map[string]int{}
+	for _, n := range rt.orderedNodes() {
+		for fn, pool := range n.warm {
+			actual[fn] += len(pool)
+		}
+	}
+	for fn, want := range actual {
+		if got := rt.warmTotal[fn]; got != want {
+			t.Errorf("%s: warmTotal[%q] = %d, want %d", when, fn, got, want)
+		}
+	}
+	for fn, got := range rt.warmTotal {
+		if got < 0 {
+			t.Errorf("%s: warmTotal[%q] = %d, negative", when, fn, got)
+		}
+		if got != actual[fn] {
+			t.Errorf("%s: warmTotal[%q] = %d but pools hold %d", when, fn, got, actual[fn])
+		}
+	}
+}
+
+// TestWarmTotalConsistency drives the warm pools through every mutation
+// path — release, warm hit, dead-instance discard, keep-alive eviction,
+// executor kill, crash reaping, undeploy — and checks the counter after
+// each.
+func TestWarmTotalConsistency(t *testing.T) {
+	opts := DefaultOptions()
+	opts.KeepWarmPerPU = 2 // small cap so admit evicts
+	run(t, hw.Config{DPUs: 2}, opts, func(p *sim.Proc, rt *Runtime) {
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		for _, fn := range []string{"helloworld", "pyaes", "image-processing"} {
+			if err := rt.Deploy(p, fn, DefaultProfile(hw.CPU), DefaultProfile(hw.DPU)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Cold start + release, then a warm hit + release.
+		for i := 0; i < 2; i++ {
+			if _, err := rt.Invoke(p, "helloworld", DefaultInvokeOptions()); err != nil {
+				t.Fatal(err)
+			}
+			checkWarmTotal(t, rt, "after invoke")
+		}
+		if rt.warmTotal["helloworld"] != 1 {
+			t.Errorf("warmTotal[helloworld] = %d, want 1", rt.warmTotal["helloworld"])
+		}
+
+		// Keep-alive eviction: the third distinct function overflows the
+		// 2-instance cap on the host and evicts the lowest-priority pool.
+		for _, fn := range []string{"pyaes", "image-processing"} {
+			if _, err := rt.Invoke(p, fn, DefaultInvokeOptions()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkWarmTotal(t, rt, "after keep-alive eviction")
+
+		// Dead-instance discard: break a pooled instance out-of-band; the
+		// next acquire discards it and cold-starts.
+		host := rt.nodes[rt.hostID]
+		var pooled string
+		for fn, pool := range host.warm {
+			if len(pool) > 0 {
+				pooled, pool[0].sb = fn, nil
+				break
+			}
+		}
+		if pooled == "" {
+			t.Fatal("no pooled instance on the host to break")
+		}
+		if _, err := rt.Invoke(p, pooled, DefaultInvokeOptions()); err != nil {
+			t.Fatal(err)
+		}
+		checkWarmTotal(t, rt, "after dead-instance discard")
+
+		// Pinned invokes on a DPU, then an executor crash drops its pools.
+		pin := DefaultInvokeOptions()
+		pin.PU = dpu
+		for i := 0; i < 2; i++ {
+			if _, err := rt.Invoke(p, "helloworld", pin); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkWarmTotal(t, rt, "after pinned invokes")
+		if err := rt.KillExecutor(p, dpu); err != nil {
+			t.Fatal(err)
+		}
+		checkWarmTotal(t, rt, "after KillExecutor")
+
+		// Crash reaping: repopulate the DPU, crash it, reap.
+		if _, err := rt.Invoke(p, "pyaes", pin); err != nil {
+			t.Fatal(err)
+		}
+		pl := faults.NewPlan(rt.Env, 1)
+		rt.AttachFaults(pl)
+		pl.Kill(dpu)
+		rt.reapCrashed(p)
+		checkWarmTotal(t, rt, "after reapCrashed")
+		pl.Revive(dpu)
+		rt.AttachFaults(nil)
+
+		// Undeploy destroys every remaining warm instance of the function.
+		if err := rt.Undeploy(p, "helloworld"); err != nil {
+			t.Fatal(err)
+		}
+		checkWarmTotal(t, rt, "after Undeploy")
+		if rt.warmTotal["helloworld"] != 0 {
+			t.Errorf("warmTotal[helloworld] = %d after Undeploy, want 0", rt.warmTotal["helloworld"])
+		}
+	})
+}
+
+// scanGeneral is the reference placement: the pre-cache kind-then-PU-ID scan
+// placeGeneral's fast path must agree with.
+func scanGeneral(rt *Runtime, d *Deployment) *puNode {
+	for _, kind := range generalKinds {
+		if !d.SupportsKind(kind) {
+			continue
+		}
+		for _, pu := range rt.Machine.PUsOfKind(kind) {
+			n := rt.nodes[pu.ID]
+			if n != nil && n.cr != nil && n.liveCount < n.capacity && !rt.puDown(pu.ID) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// TestPlacementCacheMatchesScan checks the cached placement decision against
+// the reference scan as capacity fills and PUs crash.
+func TestPlacementCacheMatchesScan(t *testing.T) {
+	run(t, hw.Config{DPUs: 2}, DefaultOptions(), func(p *sim.Proc, rt *Runtime) {
+		if err := rt.Deploy(p, "helloworld", DefaultProfile(hw.CPU), DefaultProfile(hw.DPU)); err != nil {
+			t.Fatal(err)
+		}
+		d := rt.funcs["helloworld"]
+		if d.preferred == nil || d.preferred.pu.ID != rt.hostID {
+			t.Fatalf("preferred node = %v, want host CPU", d.preferred)
+		}
+		check := func(when string) {
+			t.Helper()
+			want := scanGeneral(rt, d)
+			got, err := rt.placeGeneral(d, -1)
+			if want == nil {
+				if err == nil {
+					t.Errorf("%s: placeGeneral = PU %d, scan says no capacity", when, got.pu.ID)
+				}
+				return
+			}
+			if err != nil {
+				t.Errorf("%s: placeGeneral error %v, scan picks PU %d", when, err, want.pu.ID)
+				return
+			}
+			if got != want {
+				t.Errorf("%s: placeGeneral = PU %d, scan = PU %d", when, got.pu.ID, want.pu.ID)
+			}
+		}
+
+		check("fresh machine")
+
+		// Preferred node full: the fast path must fall back to the scan's
+		// answer (first DPU).
+		hostCap := rt.nodes[rt.hostID].capacity
+		rt.SetCapacity(rt.hostID, 0)
+		check("host at capacity")
+
+		// Preferred node down.
+		rt.SetCapacity(rt.hostID, hostCap)
+		pl := faults.NewPlan(rt.Env, 1)
+		rt.AttachFaults(pl)
+		pl.Kill(rt.hostID)
+		check("host down")
+
+		// Everything full or down.
+		for _, pu := range rt.Machine.PUsOfKind(hw.DPU) {
+			rt.SetCapacity(pu.ID, 0)
+		}
+		check("no capacity anywhere")
+		pl.Revive(rt.hostID)
+		rt.AttachFaults(nil)
+		check("host revived")
+	})
+}
+
+// BenchmarkInvokeWarm measures a steady-state warm invocation end to end —
+// the path the O(1) warm lookup, cached placement, and interned labels are
+// for.
+func BenchmarkInvokeWarm(b *testing.B) {
+	env := sim.NewEnv()
+	m := hw.Build(env, hw.Config{DPUs: 1})
+	reg := workloads.NewRegistry()
+	env.Spawn("bench", func(p *sim.Proc) {
+		rt, err := New(p, m, reg, DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Deploy(p, "helloworld"); err != nil {
+			b.Fatal(err)
+		}
+		opts := DefaultInvokeOptions()
+		if _, err := rt.Invoke(p, "helloworld", opts); err != nil {
+			b.Fatal(err) // cold start outside the timed region
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.Invoke(p, "helloworld", opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	env.Run()
+}

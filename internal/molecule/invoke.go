@@ -2,6 +2,7 @@ package molecule
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/hw"
@@ -112,19 +113,27 @@ func (rt *Runtime) settleResult(d *Deployment, res Result) {
 // invokeGeneral serves the request on a CPU or DPU container instance.
 func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions, settle bool) (Result, error) {
 	start := p.Now()
+	// Tracef checks the env flag itself, but its variadic arguments are boxed
+	// at the call site; the explicit guards keep the detached warm path
+	// allocation-free.
+	tracing := rt.Env.Tracing()
 	root := rt.obs.Span(opts.Span, "invoke", int(rt.hostID))
 	root.SetAttr("fn", d.Fn.Name)
-	p.Tracef("invoke %s: request accepted", d.Fn.Name)
+	if tracing {
+		p.Tracef("invoke %s: request accepted", d.Fn.Name)
+	}
 	inst, cold, err := rt.acquire(p, d, opts.PU, opts.ForceCold, root)
 	if err != nil {
 		root.SetAttr("error", err.Error())
 		root.Finish()
 		return Result{}, err
 	}
-	if cold {
-		p.Tracef("invoke %s: cold start complete on PU %d (sandbox %s)", d.Fn.Name, inst.node.pu.ID, inst.sandboxID)
-	} else {
-		p.Tracef("invoke %s: warm hit on PU %d (sandbox %s)", d.Fn.Name, inst.node.pu.ID, inst.sandboxID)
+	if tracing {
+		if cold {
+			p.Tracef("invoke %s: cold start complete on PU %d (sandbox %s)", d.Fn.Name, inst.node.pu.ID, inst.sandboxID)
+		} else {
+			p.Tracef("invoke %s: warm hit on PU %d (sandbox %s)", d.Fn.Name, inst.node.pu.ID, inst.sandboxID)
+		}
 	}
 	startupDone := p.Now()
 
@@ -166,7 +175,9 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions,
 	if cold {
 		root.SetAttr("cold", "1")
 	}
-	root.SetAttr("pu", fmt.Sprintf("%d", inst.node.pu.ID))
+	if root != nil {
+		root.SetAttr("pu", strconv.Itoa(int(inst.node.pu.ID)))
+	}
 	root.Finish() // root span duration == res.Total by construction
 	if opts.RunBody && d.Fn.Body != nil {
 		out, err := d.Fn.Body(opts.Arg)
@@ -178,7 +189,9 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions,
 	}
 	inst.node.busy += res.Exec
 	rt.release(p, inst)
-	p.Tracef("invoke %s: done in %v (exec %v)", d.Fn.Name, res.Total, res.Exec)
+	if tracing {
+		p.Tracef("invoke %s: done in %v (exec %v)", d.Fn.Name, res.Total, res.Exec)
+	}
 	if settle {
 		rt.settleResult(d, res)
 	}
@@ -235,24 +248,44 @@ func (rt *Runtime) acquire(p *sim.Proc, d *Deployment, pin hw.PUID, forceCold bo
 // popWarm takes a warm instance for fn, honoring a PU pin. Instances whose
 // sandbox was killed or deleted out-of-band are discarded rather than
 // served.
+//
+// The fn-indexed warm counter makes the two hot cases O(1): a global miss
+// (every acquire in a density run, where no instance is ever warm) returns
+// without touching a single node, and a pinned lookup goes straight to its
+// node. The unpinned hit path walks rt.order directly — same deterministic
+// lowest-PU-first preference as before, without materializing a node slice
+// per call.
 func (rt *Runtime) popWarm(fn string, pin hw.PUID) *instance {
-	for _, n := range rt.orderedNodes() {
-		if pin >= 0 && n.pu.ID != pin {
-			continue
-		}
-		if rt.puDown(n.pu.ID) {
-			continue // stranded warm instances are reaped, never served
-		}
-		for pool := n.warm[fn]; len(pool) > 0; pool = n.warm[fn] {
-			inst := pool[len(pool)-1]
-			n.warm[fn] = pool[:len(pool)-1]
-			if inst.sb == nil || inst.sb.State != sandbox.StateRunning {
-				n.liveCount-- // dead instance leaves the machine
-				continue
-			}
-			rt.cache.hit(fn)
+	if rt.warmTotal[fn] == 0 {
+		return nil
+	}
+	if pin >= 0 {
+		return rt.popWarmOn(rt.nodes[pin], fn)
+	}
+	for _, id := range rt.order {
+		if inst := rt.popWarmOn(rt.nodes[id], fn); inst != nil {
 			return inst
 		}
+	}
+	return nil
+}
+
+// popWarmOn takes a warm instance for fn from one node, discarding dead
+// instances along the way.
+func (rt *Runtime) popWarmOn(n *puNode, fn string) *instance {
+	if n == nil || rt.puDown(n.pu.ID) {
+		return nil // stranded warm instances are reaped, never served
+	}
+	for pool := n.warm[fn]; len(pool) > 0; pool = n.warm[fn] {
+		inst := pool[len(pool)-1]
+		n.warm[fn] = pool[:len(pool)-1]
+		rt.warmTotal[fn]--
+		if inst.sb == nil || inst.sb.State != sandbox.StateRunning {
+			n.liveCount-- // dead instance leaves the machine
+			continue
+		}
+		rt.cache.hit(fn)
+		return inst
 	}
 	return nil
 }
@@ -361,8 +394,12 @@ func (rt *Runtime) restoreFromSnapshot(p *sim.Proc, d *Deployment, n *puNode) (*
 func (rt *Runtime) release(p *sim.Proc, inst *instance) {
 	n := inst.node
 	n.warm[inst.fn] = append(n.warm[inst.fn], inst)
+	rt.warmTotal[inst.fn]++
 	evict := rt.cache.admit(inst.fn, n)
 	for _, victim := range evict {
+		// admit already removed the victim from its pool; settle the counter
+		// here (destroy only decrements for instances it finds pooled).
+		rt.warmTotal[victim.fn]--
 		if o := rt.obs; o != nil {
 			o.Counter("molecule_keepalive_evictions_total", puLabel(victim.node.pu.ID), obs.L("fn", victim.fn)).Inc()
 		}
@@ -377,6 +414,7 @@ func (rt *Runtime) destroy(p *sim.Proc, inst *instance) {
 	for i, cand := range pool {
 		if cand == inst {
 			n.warm[inst.fn] = append(pool[:i], pool[i+1:]...)
+			rt.warmTotal[inst.fn]--
 			break
 		}
 	}

@@ -149,6 +149,12 @@ type Runtime struct {
 	funcs map[string]*Deployment
 	cache *keepAlive
 	bill  *Billing
+	// warmTotal counts warm-pooled instances per function across all PUs.
+	// It lets popWarm answer the common cases in O(1): a global miss skips
+	// the node scan entirely. Every warm-pool mutation — release, popWarm,
+	// destroy, keep-alive eviction, executor kill, crash reaping — keeps it
+	// in sync (TestWarmTotalConsistency pins the invariant).
+	warmTotal map[string]int
 
 	// obs is the observability layer; nil (the default) disables all span
 	// and metric recording at zero cost — every obs call site either
@@ -222,14 +228,15 @@ func puLabel(id hw.PUID) obs.Label { return obs.L("pu", strconv.Itoa(int(id))) }
 func New(p *sim.Proc, m *hw.Machine, reg *workloads.Registry, opts Options) (*Runtime, error) {
 	env := p.Env()
 	rt := &Runtime{
-		Env:      env,
-		Machine:  m,
-		Shim:     xpu.NewShim(env, m),
-		Registry: reg,
-		Opts:     opts,
-		nodes:    make(map[hw.PUID]*puNode),
-		funcs:    make(map[string]*Deployment),
-		bill:     NewBilling(),
+		Env:       env,
+		Machine:   m,
+		Shim:      xpu.NewShim(env, m),
+		Registry:  reg,
+		Opts:      opts,
+		nodes:     make(map[hw.PUID]*puNode),
+		funcs:     make(map[string]*Deployment),
+		bill:      NewBilling(),
+		warmTotal: make(map[string]int),
 	}
 	rt.cache = newKeepAlive(opts.KeepWarmPerPU)
 
@@ -423,6 +430,7 @@ func (rt *Runtime) KillExecutor(p *sim.Proc, id hw.PUID) error {
 			sandbox.DeleteOne(p, n.cr, inst.sandboxID)
 			n.liveCount--
 		}
+		rt.warmTotal[fn] -= len(pool)
 		delete(n.warm, fn)
 	}
 	return nil
@@ -492,6 +500,7 @@ func (rt *Runtime) reapCrashed(p *sim.Proc) {
 					o.Counter("molecule_crash_evictions_total", puLabel(n.pu.ID), obs.L("fn", fn)).Inc()
 				}
 			}
+			rt.warmTotal[fn] -= len(n.warm[fn])
 			delete(n.warm, fn)
 		}
 		// The executor died with its PU; it is respawned by the next

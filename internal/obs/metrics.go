@@ -192,6 +192,67 @@ func seriesKey(name string, labels []Label) (string, []Label) {
 	return b.String(), ls
 }
 
+// LabelSet is a pre-interned series identity: the (name, sorted labels)
+// series key is computed once at construction, so hot paths can look up
+// instruments with a single map probe — no sorting or string building per
+// call. A LabelSet is observer-independent: it stays valid across
+// Registry/Observer swaps, which is why call sites cache LabelSets rather
+// than instrument pointers.
+type LabelSet struct {
+	key    string
+	labels []Label
+}
+
+// Intern builds the LabelSet for (name, labels). Construction pays the
+// one-time sort+serialize cost that Counter/Gauge/Histogram would otherwise
+// pay on every lookup.
+func Intern(name string, labels ...Label) LabelSet {
+	k, ls := seriesKey(name, labels)
+	return LabelSet{key: k, labels: ls}
+}
+
+// CounterSet returns the counter series for a pre-interned LabelSet,
+// creating it on first use. Zero allocations on the hit path. Nil-safe.
+func (r *Registry) CounterSet(ls LabelSet) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[ls.key]
+	if !ok {
+		c = &Counter{labels: ls.labels}
+		r.counters[ls.key] = c
+	}
+	return c
+}
+
+// GaugeSet returns the gauge series for a pre-interned LabelSet, creating it
+// on first use. Zero allocations on the hit path. Nil-safe.
+func (r *Registry) GaugeSet(ls LabelSet) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[ls.key]
+	if !ok {
+		g = &Gauge{labels: ls.labels}
+		r.gauges[ls.key] = g
+	}
+	return g
+}
+
+// HistogramSet returns the histogram series for a pre-interned LabelSet,
+// creating it on first use. Zero allocations on the hit path. Nil-safe.
+func (r *Registry) HistogramSet(ls LabelSet) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[ls.key]
+	if !ok {
+		h = &Histogram{labels: ls.labels}
+		r.hists[ls.key] = h
+	}
+	return h
+}
+
 // Counter returns the counter series for (name, labels), creating it on
 // first use. Nil-safe: a nil Registry returns a nil Counter.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {

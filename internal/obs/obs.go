@@ -74,3 +74,28 @@ func (o *Observer) Histogram(name string, labels ...Label) *Histogram {
 	}
 	return o.Metrics.Histogram(name, labels...)
 }
+
+// CounterSet is Counter for a pre-interned LabelSet: one map probe, no
+// per-call sort or string building. Nil-safe.
+func (o *Observer) CounterSet(ls LabelSet) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.CounterSet(ls)
+}
+
+// GaugeSet is Gauge for a pre-interned LabelSet. Nil-safe.
+func (o *Observer) GaugeSet(ls LabelSet) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.GaugeSet(ls)
+}
+
+// HistogramSet is Histogram for a pre-interned LabelSet. Nil-safe.
+func (o *Observer) HistogramSet(ls LabelSet) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.HistogramSet(ls)
+}

@@ -66,6 +66,49 @@ func TestNilFastPathAllocs(t *testing.T) {
 	}
 }
 
+// TestInternedLabelSet pins the interned lookup contract: a LabelSet
+// resolves to the same series as the variadic lookup, survives a registry
+// swap, and the hit path performs zero allocations.
+func TestInternedLabelSet(t *testing.T) {
+	env := sim.NewEnv()
+	o := New(env)
+	ls := Intern("xpu_nipc_messages_total", L("link", "0->1"))
+
+	o.CounterSet(ls).Add(3)
+	if got := o.Counter("xpu_nipc_messages_total", L("link", "0->1")).Value(); got != 3 {
+		t.Fatalf("interned and variadic lookups disagree: %d", got)
+	}
+	o.GaugeSet(Intern("g", L("a", "1"))).Set(7)
+	if got := o.Gauge("g", L("a", "1")).Value(); got != 7 {
+		t.Fatalf("interned gauge = %v, want 7", got)
+	}
+	o.HistogramSet(Intern("h")).Observe(time.Millisecond)
+	if got := o.Histogram("h").Count(); got != 1 {
+		t.Fatalf("interned histogram count = %d, want 1", got)
+	}
+
+	// Observer-independent: the same LabelSet addresses the equivalent
+	// series in a fresh registry (caches survive SetObserver swaps).
+	o2 := New(env)
+	o2.CounterSet(ls).Inc()
+	if got := o2.Counter("xpu_nipc_messages_total", L("link", "0->1")).Value(); got != 1 {
+		t.Fatalf("LabelSet not portable across registries: %d", got)
+	}
+
+	// Nil-safe like every other lookup.
+	var nilObs *Observer
+	nilObs.CounterSet(ls).Inc()
+	nilObs.GaugeSet(ls).Set(1)
+	nilObs.HistogramSet(ls).Observe(time.Second)
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		o.CounterSet(ls).Inc()
+		o.GaugeSet(ls).Set(1)
+	}); allocs != 0 {
+		t.Errorf("interned hit path allocates %v per op, want 0", allocs)
+	}
+}
+
 func TestSpanTreeAndVirtualTime(t *testing.T) {
 	env := sim.NewEnv()
 	o := New(env)

@@ -5,8 +5,14 @@ package sim
 // up to cap values. Closed channels deliver the zero value with ok=false to
 // receivers, like native Go channels.
 type Chan[T any] struct {
-	env    *Env
+	env *Env
+	// buf is a ring: count values starting at head, wrapping around. A ring
+	// (rather than append/reslice) keeps steady-state send/recv allocation-
+	// free — the storage grows geometrically up to cap and is then reused
+	// forever.
 	buf    []T
+	head   int
+	count  int
 	cap    int
 	sendq  []*sendWaiter[T]
 	recvq  []*recvWaiter[T]
@@ -40,7 +46,39 @@ func NewChan[T any](env *Env, capacity int) *Chan[T] {
 }
 
 // Len reports the number of buffered values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.count }
+
+// push appends v to the ring buffer; the caller has checked count < cap.
+func (c *Chan[T]) push(v T) {
+	if c.count == len(c.buf) {
+		n := len(c.buf) * 2
+		if n == 0 {
+			n = 4
+		}
+		if n > c.cap {
+			n = c.cap
+		}
+		nb := make([]T, n)
+		for i := 0; i < c.count; i++ {
+			nb[i] = c.buf[(c.head+i)%len(c.buf)]
+		}
+		c.buf = nb
+		c.head = 0
+	}
+	c.buf[(c.head+c.count)%len(c.buf)] = v
+	c.count++
+}
+
+// pop removes and returns the oldest buffered value; the caller has checked
+// count > 0. The vacated slot is zeroed so payloads are not retained.
+func (c *Chan[T]) pop() T {
+	v := c.buf[c.head]
+	var zero T
+	c.buf[c.head] = zero
+	c.head = (c.head + 1) % len(c.buf)
+	c.count--
+	return v
+}
 
 // Cap reports the channel capacity.
 func (c *Chan[T]) Cap() int { return c.cap }
@@ -98,8 +136,8 @@ func (c *Chan[T]) send(p *Proc, v T) bool {
 		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
 		return true
 	}
-	if len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.count < c.cap {
+		c.push(v)
 		return true
 	}
 	// Block until a receiver drains us — or Close wakes us empty-handed.
@@ -123,8 +161,8 @@ func (c *Chan[T]) TrySend(v T) bool {
 		c.env.scheduleResume(c.env.now, w.p, resumeMsg{val: recvResult[T]{val: v, ok: true}})
 		return true
 	}
-	if len(c.buf) < c.cap {
-		c.buf = append(c.buf, v)
+	if c.count < c.cap {
+		c.push(v)
 		return true
 	}
 	return false
@@ -149,14 +187,13 @@ func (c *Chan[T]) TryRecv() (v T, ok, got bool) {
 }
 
 func (c *Chan[T]) tryRecvLocked() (v T, ok, got bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
+	if c.count > 0 {
+		v = c.pop()
 		// Promote a blocked sender's value into the freed slot.
 		if len(c.sendq) > 0 {
 			w := c.sendq[0]
 			c.sendq = c.sendq[1:]
-			c.buf = append(c.buf, w.val)
+			c.push(w.val)
 			c.env.scheduleResume(c.env.now, w.p, resumeMsg{})
 		}
 		return v, true, true

@@ -9,21 +9,46 @@ import (
 	"repro/internal/sim"
 )
 
-// recordNIPC counts one cross-PU FIFO payload on the directed link src->dst.
-func (s *Shim) recordNIPC(src, dst hw.PUID, bytes int) {
+// nipcSeries holds the interned label sets for one directed link's nIPC
+// counters, built once per link instead of fmt.Sprintf-ing a label per
+// message.
+type nipcSeries struct {
+	msgs  obs.LabelSet
+	bytes obs.LabelSet
+}
+
+// linkSeries returns (creating on first use) the interned series for the
+// directed link src->dst.
+func (s *Shim) linkSeries(src, dst hw.PUID) *nipcSeries {
+	k := [2]hw.PUID{src, dst}
+	ls := s.nipcLS[k]
+	if ls == nil {
+		l := obs.L("link", fmt.Sprintf("%d->%d", src, dst))
+		ls = &nipcSeries{
+			msgs:  obs.Intern("xpu_nipc_messages_total", l),
+			bytes: obs.Intern("xpu_nipc_bytes_total", l),
+		}
+		s.nipcLS[k] = ls
+	}
+	return ls
+}
+
+// recordNIPC counts n cross-PU FIFO payloads totalling bytes on the directed
+// link src->dst.
+func (s *Shim) recordNIPC(src, dst hw.PUID, n, bytes int) {
 	o := s.Obs
 	if o == nil {
 		return
 	}
-	l := obs.L("link", fmt.Sprintf("%d->%d", src, dst))
-	o.Counter("xpu_nipc_messages_total", l).Inc()
-	o.Counter("xpu_nipc_bytes_total", l).Add(int64(bytes))
+	ls := s.linkSeries(src, dst)
+	o.CounterSet(ls.msgs).Add(int64(n))
+	o.CounterSet(ls.bytes).Add(int64(bytes))
 }
 
 // recordDepth tracks a FIFO's queue depth after a send or receive.
 func (s *Shim) recordDepth(f *XPUFIFO) {
 	if o := s.Obs; o != nil {
-		o.Gauge("xpu_fifo_depth", obs.L("fifo", f.UUID)).Set(float64(f.ch.Len()))
+		o.GaugeSet(f.depthLS).Set(float64(f.ch.Len()))
 	}
 }
 
@@ -34,25 +59,24 @@ func (s *Shim) recordDepth(f *XPUFIFO) {
 // functions the exact FIFO interface they use locally (§3.3) while the shim
 // handles placement.
 type XPUFIFO struct {
-	UUID   string
-	Home   hw.PUID // PU hosting the queue
-	Owner  XPID
-	ch     *sim.Chan[localos.Message]
-	closed bool
+	UUID  string
+	Home  hw.PUID // PU hosting the queue
+	Owner XPID
+
+	// homeHost is the physical PU holding the queue's memory: the home
+	// node's host PU. For FIFOs homed on an accelerator's virtual node the
+	// queue lives in the neighbor host's memory, so that is where transfers
+	// terminate. A FIFO's home never changes, so this is resolved once at
+	// FIFOInit instead of a nodes-map lookup per Write/Read.
+	homeHost hw.PUID
+
+	depthLS obs.LabelSet // interned xpu_fifo_depth series
+	ch      *sim.Chan[localos.Message]
+	closed  bool
 }
 
 // Len reports queued messages.
 func (f *XPUFIFO) Len() int { return f.ch.Len() }
-
-// homeHost resolves the physical PU hosting a FIFO's queue: the home node's
-// host PU. For FIFOs homed on an accelerator's virtual node the queue lives
-// in the neighbor host's memory, so that is where transfers terminate.
-func (s *Shim) homeHost(f *XPUFIFO) hw.PUID {
-	if n := s.nodes[f.Home]; n != nil {
-		return n.Host.ID
-	}
-	return f.Home
-}
 
 // Closed reports whether the FIFO has been closed.
 func (f *XPUFIFO) Closed() bool { return f.closed }
@@ -62,10 +86,31 @@ type FD struct {
 	fifo *XPUFIFO
 	node *Node // the node through which the holder accesses the FIFO
 	pid  XPID
+	obj  ObjID // the FIFO's capability object, built once
+
+	// Capability-check cache: the shim's replicated capability state changes
+	// only through grant/revoke, each of which bumps Shim.capGen. Between
+	// mutations the descriptor's effective permission is stable, so the hot
+	// path replays the cached bitmask instead of two map lookups per message.
+	// The check itself stays local either way (§5); this only removes the
+	// redundant lookup work, not any modeled synchronization.
+	capPerm Perm
+	capGen  uint64
 }
 
 // UUID returns the global UUID of the underlying FIFO.
 func (fd *FD) UUID() string { return fd.fifo.UUID }
+
+// hasCap is the descriptor-cached equivalent of Shim.HasCap for the FIFO's
+// own capability object.
+func (fd *FD) hasCap(perm Perm) bool {
+	s := fd.node.Shim
+	if fd.capGen != s.capGen {
+		fd.capPerm = s.caps[fd.pid][fd.obj]
+		fd.capGen = s.capGen
+	}
+	return fd.capPerm.Has(perm)
+}
 
 // FIFOInit implements xfifo_init: create an XPU-FIFO with the given global
 // UUID, owned by caller, hosted on this node's PU. Global UUIDs must be
@@ -80,16 +125,18 @@ func (n *Node) FIFOInit(p *sim.Proc, caller XPID, uuid string, capacity int) (*F
 		return nil, fmt.Errorf("xpu: FIFO UUID %q already in use", uuid)
 	}
 	f := &XPUFIFO{
-		UUID:  uuid,
-		Home:  n.PU.ID,
-		Owner: caller,
-		ch:    sim.NewChan[localos.Message](n.Shim.Env, capacity),
+		UUID:     uuid,
+		Home:     n.PU.ID,
+		Owner:    caller,
+		homeHost: n.Host.ID,
+		depthLS:  obs.Intern("xpu_fifo_depth", obs.L("fifo", uuid)),
+		ch:       sim.NewChan[localos.Message](n.Shim.Env, capacity),
 	}
 	n.Shim.fifos[uuid] = f
 	obj := ObjID{Kind: "fifo", UUID: uuid}
 	n.Shim.grantLocal(caller, obj, PermRead|PermWrite|PermOwner)
 	n.broadcast(p) // UUID uniqueness + owner capability propagate eagerly
-	return &FD{fifo: f, node: n, pid: caller}, nil
+	return &FD{fifo: f, node: n, pid: caller, obj: obj}, nil
 }
 
 // FIFOConnect implements xfifo_connect: attach to an existing XPU-FIFO by
@@ -107,7 +154,7 @@ func (n *Node) FIFOConnect(p *sim.Proc, caller XPID, uuid string) (*FD, error) {
 	if !n.Shim.HasCap(caller, obj, PermRead) && !n.Shim.HasCap(caller, obj, PermWrite) {
 		return nil, fmt.Errorf("xpu: %v lacks permission on FIFO %q", caller, uuid)
 	}
-	return &FD{fifo: f, node: n, pid: caller}, nil
+	return &FD{fifo: f, node: n, pid: caller, obj: obj}, nil
 }
 
 // Write implements xfifo_write. The caller must hold write permission.
@@ -125,19 +172,18 @@ func (fd *FD) Write(p *sim.Proc, m localos.Message) error {
 		return fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
 	}
 	n.xcall(p)
-	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
-	if !n.Shim.HasCap(fd.pid, obj, PermWrite) {
+	if !fd.hasCap(PermWrite) {
 		return fmt.Errorf("xpu: %v lacks write permission on FIFO %q", fd.pid, fd.fifo.UUID)
 	}
 	if fd.fifo.closed {
 		return fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
 	}
-	home := n.Shim.homeHost(fd.fifo)
+	home := fd.fifo.homeHost
 	if n.Host.ID != home {
 		if _, err := n.Shim.Machine.Transfer(p, n.Host.ID, home, m.Size()); err != nil {
 			return err
 		}
-		n.Shim.recordNIPC(n.Host.ID, home, m.Size())
+		n.Shim.recordNIPC(n.Host.ID, home, 1, m.Size())
 	}
 	if !fd.fifo.ch.SendOrClosed(p, m) {
 		return fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
@@ -158,23 +204,134 @@ func (fd *FD) Read(p *sim.Proc) (localos.Message, error) {
 		return localos.Message{}, fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
 	}
 	n.xcall(p)
-	obj := ObjID{Kind: "fifo", UUID: fd.fifo.UUID}
-	if !n.Shim.HasCap(fd.pid, obj, PermRead) {
+	if !fd.hasCap(PermRead) {
 		return localos.Message{}, fmt.Errorf("xpu: %v lacks read permission on FIFO %q", fd.pid, fd.fifo.UUID)
 	}
 	m, ok := fd.fifo.ch.Recv(p)
 	if !ok {
 		return localos.Message{}, fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
 	}
+	// The Recv may have blocked for arbitrary virtual time; re-run the
+	// fail-fast checks so a reader whose node (or the queue's home) crashed
+	// while it was parked surfaces ErrNodeDown instead of a stale read.
+	if err := n.failfast(); err != nil {
+		return localos.Message{}, err
+	}
+	if n.Shim.down(fd.fifo.Home) {
+		return localos.Message{}, fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
+	}
 	n.Shim.recordDepth(fd.fifo)
-	home := n.Shim.homeHost(fd.fifo)
+	home := fd.fifo.homeHost
 	if n.Host.ID != home {
 		if _, err := n.Shim.Machine.Transfer(p, home, n.Host.ID, m.Size()); err != nil {
 			return localos.Message{}, err
 		}
-		n.Shim.recordNIPC(home, n.Host.ID, m.Size())
+		n.Shim.recordNIPC(home, n.Host.ID, 1, m.Size())
 	}
 	return m, nil
+}
+
+// WriteBatch implements vectorized xfifo_write: it enqueues msgs in order,
+// paying the user↔shim XPUcall and the capability check once, and — when the
+// writer is remote from the queue's home — crossing the interconnect as one
+// batched transfer whose base latency is amortized over the whole vector
+// (hw.TransferBatch). Simulated time therefore differs from len(msgs)
+// individual Writes by design; per-message Write is untouched and the
+// default, which is why the golden report only moves when a caller opts in.
+func (fd *FD) WriteBatch(p *sim.Proc, msgs []localos.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	n := fd.node
+	if err := n.failfast(); err != nil {
+		return err
+	}
+	if n.Shim.down(fd.fifo.Home) {
+		return fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
+	}
+	n.xcall(p)
+	if !fd.hasCap(PermWrite) {
+		return fmt.Errorf("xpu: %v lacks write permission on FIFO %q", fd.pid, fd.fifo.UUID)
+	}
+	if fd.fifo.closed {
+		return fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
+	}
+	home := fd.fifo.homeHost
+	if n.Host.ID != home {
+		sizes := make([]int, len(msgs))
+		total := 0
+		for i := range msgs {
+			sizes[i] = msgs[i].Size()
+			total += sizes[i]
+		}
+		if _, err := n.Shim.Machine.TransferBatch(p, n.Host.ID, home, sizes); err != nil {
+			return err
+		}
+		n.Shim.recordNIPC(n.Host.ID, home, len(msgs), total)
+	}
+	for i := range msgs {
+		if !fd.fifo.ch.SendOrClosed(p, msgs[i]) {
+			return fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
+		}
+	}
+	n.Shim.recordDepth(fd.fifo)
+	return nil
+}
+
+// ReadBatch implements vectorized xfifo_read: it blocks for the first
+// message, then drains whatever else is already queued (up to max), paying
+// the XPUcall once and pulling the vector across the interconnect as one
+// batched transfer. A closed FIFO with no queued messages returns an error;
+// a crash while parked surfaces ErrNodeDown exactly like Read.
+func (fd *FD) ReadBatch(p *sim.Proc, max int) ([]localos.Message, error) {
+	if max < 1 {
+		max = 1
+	}
+	n := fd.node
+	if err := n.failfast(); err != nil {
+		return nil, err
+	}
+	if n.Shim.down(fd.fifo.Home) {
+		return nil, fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
+	}
+	n.xcall(p)
+	if !fd.hasCap(PermRead) {
+		return nil, fmt.Errorf("xpu: %v lacks read permission on FIFO %q", fd.pid, fd.fifo.UUID)
+	}
+	first, ok := fd.fifo.ch.Recv(p)
+	if !ok {
+		return nil, fmt.Errorf("xpu: FIFO %q closed", fd.fifo.UUID)
+	}
+	if err := n.failfast(); err != nil {
+		return nil, err
+	}
+	if n.Shim.down(fd.fifo.Home) {
+		return nil, fmt.Errorf("xpu: FIFO %q home PU %d: %w", fd.fifo.UUID, fd.fifo.Home, ErrNodeDown)
+	}
+	out := make([]localos.Message, 1, max)
+	out[0] = first
+	for len(out) < max {
+		m, _, got := fd.fifo.ch.TryRecv()
+		if !got {
+			break
+		}
+		out = append(out, m)
+	}
+	n.Shim.recordDepth(fd.fifo)
+	home := fd.fifo.homeHost
+	if n.Host.ID != home {
+		sizes := make([]int, len(out))
+		total := 0
+		for i := range out {
+			sizes[i] = out[i].Size()
+			total += sizes[i]
+		}
+		if _, err := n.Shim.Machine.TransferBatch(p, home, n.Host.ID, sizes); err != nil {
+			return nil, err
+		}
+		n.Shim.recordNIPC(home, n.Host.ID, len(out), total)
+	}
+	return out, nil
 }
 
 // Close implements xfifo_close: the owner tears the FIFO down; the UUID

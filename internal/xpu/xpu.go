@@ -141,6 +141,19 @@ type Shim struct {
 	caps  map[XPID]map[ObjID]Perm
 	fifos map[string]*XPUFIFO // by global UUID
 
+	// capGen rises on every capability mutation; FD-level permission caches
+	// are valid only while their generation matches. Starts at 1 so a
+	// zero-valued cache is never mistaken for current.
+	capGen uint64
+
+	// topoGen rises when a node is added; per-node broadcast worst-link
+	// caches are valid only while their generation matches.
+	topoGen uint64
+
+	// nipcLS interns the per-link nIPC counter label sets so the data path
+	// never rebuilds them per message.
+	nipcLS map[[2]hw.PUID]*nipcSeries
+
 	lazyBatch     int // deletions queued for lazy sync
 	lazyBatchSize int
 	// EagerDeletes disables lazy synchronization of object reclamations,
@@ -166,6 +179,9 @@ func NewShim(env *sim.Env, m *hw.Machine) *Shim {
 		nodes:         make(map[hw.PUID]*Node),
 		caps:          make(map[XPID]map[ObjID]Perm),
 		fifos:         make(map[string]*XPUFIFO),
+		capGen:        1,
+		topoGen:       1,
+		nipcLS:        make(map[[2]hw.PUID]*nipcSeries),
 		lazyBatchSize: 16,
 	}
 }
@@ -186,6 +202,12 @@ type Node struct {
 	// shim dedicates one MPSC queue per handler thread, so calls beyond
 	// the thread count queue behind in-flight ones.
 	handlers *sim.Resource
+
+	// Broadcast worst-link cache: the slowest peer link only changes when
+	// the node set does (Shim.topoGen), so broadcast need not walk every
+	// node per sync. The charged virtual time is identical.
+	bcastWorst time.Duration
+	bcastGen   uint64
 }
 
 // AddNode installs a shim node on a general-purpose PU running os.
@@ -200,6 +222,7 @@ func (s *Shim) AddNode(pu *hw.PU, os *localos.OS) *Node {
 	n.self = os.NewDetachedProcess("xpu-shimd")
 	n.handlers = sim.NewResource(s.Env, 1)
 	s.nodes[pu.ID] = n
+	s.topoGen++
 	return n
 }
 
@@ -211,6 +234,7 @@ func (s *Shim) AddVirtualNode(accel *hw.PU, host *hw.PU, hostOS *localos.OS) *No
 	n.self = hostOS.NewDetachedProcess("xpu-shimd-virt")
 	n.handlers = sim.NewResource(s.Env, 1)
 	s.nodes[accel.ID] = n
+	s.topoGen++
 	return n
 }
 
@@ -264,20 +288,26 @@ func (n *Node) xcall(p *sim.Proc) {
 
 // broadcast charges the cost of an immediate state synchronization from this
 // node to every other node: a small control message over each link, sent in
-// parallel (the latency is the slowest peer's link).
+// parallel (the latency is the slowest peer's link). The worst-link latency
+// is cached per node and invalidated by topology changes, so repeated syncs
+// charge the identical virtual time without re-walking the node set.
 func (n *Node) broadcast(p *sim.Proc) {
-	var worst time.Duration
-	for id := range n.Shim.nodes {
-		if id == n.PU.ID {
-			continue
-		}
-		if l, ok := n.Shim.Machine.LinkBetween(n.Host.ID, id); ok {
-			if d := l.TransferTime(64); d > worst {
-				worst = d
+	if n.bcastGen != n.Shim.topoGen {
+		var worst time.Duration
+		for id := range n.Shim.nodes {
+			if id == n.PU.ID {
+				continue
+			}
+			if l, ok := n.Shim.Machine.LinkBetween(n.Host.ID, id); ok {
+				if d := l.TransferTime(64); d > worst {
+					worst = d
+				}
 			}
 		}
+		n.bcastWorst = worst
+		n.bcastGen = n.Shim.topoGen
 	}
-	p.Sleep(worst)
+	p.Sleep(n.bcastWorst)
 	n.Shim.stats.ImmediateSyncs++
 }
 
@@ -328,9 +358,10 @@ func (s *Shim) capsOf(x XPID) map[ObjID]Perm {
 
 // HasCap reports whether x holds perm on obj. Checks are always local —
 // capability updates synchronize immediately so "permission checking can
-// always finish locally" (§5).
+// always finish locally" (§5). Read-only: a lookup for an unknown process
+// must not materialize its capability set.
 func (s *Shim) HasCap(x XPID, obj ObjID, perm Perm) bool {
-	return s.capsOf(x)[obj].Has(perm)
+	return s.caps[x][obj].Has(perm)
 }
 
 // GrantCap implements grant_cap: caller grants perm on obj to target.
@@ -345,6 +376,7 @@ func (n *Node) GrantCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm) 
 		return fmt.Errorf("xpu: %v is not an owner of %v", caller, obj)
 	}
 	n.Shim.capsOf(target)[obj] |= perm
+	n.Shim.capGen++
 	n.broadcast(p)
 	return nil
 }
@@ -359,6 +391,7 @@ func (n *Node) RevokeCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm)
 		return fmt.Errorf("xpu: %v is not an owner of %v", caller, obj)
 	}
 	n.Shim.capsOf(target)[obj] &^= perm
+	n.Shim.capGen++
 	n.broadcast(p)
 	return nil
 }
@@ -367,4 +400,5 @@ func (n *Node) RevokeCap(p *sim.Proc, caller, target XPID, obj ObjID, perm Perm)
 // when the shim itself creates an object on behalf of a process.
 func (s *Shim) grantLocal(x XPID, obj ObjID, perm Perm) {
 	s.capsOf(x)[obj] |= perm
+	s.capGen++
 }
