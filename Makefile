@@ -2,19 +2,26 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race chaos bench microbench bench-smoke perfjson nipcjson report report-md golden trace-demo examples clean
+.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson report report-md golden trace-demo examples clean
 
 all: check
 
 # The full CI gate: the harness is concurrent, so -race is required, not
-# optional.
-check: build vet test race
+# optional; lint machine-checks the determinism/layering/zero-alloc
+# invariants the compiler cannot see.
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# moleculelint: the repo's own go/analysis suite (internal/lint) run over
+# every package. Add -json for machine-readable diagnostics:
+#   go run ./cmd/moleculelint -json ./...
+lint:
+	$(GO) run ./cmd/moleculelint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,73 @@
+// moleculelint runs the moleculelint analyzer suite (internal/lint): five
+// go/analysis analyzers that machine-check this repository's determinism,
+// layering, and zero-allocation invariants.
+//
+// Two modes:
+//
+//	go vet -vettool=$(which moleculelint) ./...   # unitchecker protocol
+//	moleculelint [-json] [packages]               # standalone; default ./...
+//
+// Standalone mode re-executes itself under `go vet -vettool`, so both modes
+// analyze packages exactly as the build does (per package, with full type
+// information). -json forwards go vet's machine-readable diagnostic output
+// for tooling consumers. The exit status is non-zero when any analyzer
+// reports a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet drives the unitchecker protocol: -flags and -V=full probe
+	// queries, then one invocation per package with a *.cfg argument.
+	if len(args) > 0 && (args[0] == "-flags" || strings.HasPrefix(args[0], "-V") || strings.HasSuffix(args[len(args)-1], ".cfg")) {
+		unitchecker.Main(lint.Analyzers...) // does not return
+	}
+
+	fs := flag.NewFlagSet("moleculelint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (go vet -json format)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: moleculelint [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	fs.Parse(args)
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moleculelint: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if *jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	vetArgs = append(vetArgs, patterns...)
+
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "moleculelint: go vet: %v\n", err)
+		os.Exit(2)
+	}
+}

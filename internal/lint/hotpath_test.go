@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, lint.HotPath,
+		linttest.Package{Path: "repro/internal/xpu", Dir: "testdata/hotpath/hot"})
+}

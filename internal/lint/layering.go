@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"slices"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Layering enforces the import DAG recorded in Table. Two rules, both pure
+// data:
+//
+//  1. A package may import only internal packages at a strictly lower
+//     Level, so layer inversions (and therefore cycles) cannot compile into
+//     the tree unnoticed.
+//  2. A package must not import anything on its Deny list even when the
+//     levels would allow it. The base layers (sim, hw, localos, sandbox,
+//     xpu, mem) deny faults, obs, molecule, and bench: those subsystems are
+//     injected consumer-side through interfaces (hw.FaultInjector,
+//     sandbox.FaultInjector, xpu.MetricSink, ...) precisely so that
+//     detaching them keeps the simulation byte-identical.
+//
+// A package missing from the table is itself a violation — new packages are
+// classified before they are imported, not after.
+var Layering = &analysis.Analyzer{
+	Name: "layering",
+	Doc:  "enforce the internal/ import DAG recorded in the moleculelint layer table (internal/lint/layers.go)",
+	Run:  runLayering,
+}
+
+func runLayering(pass *analysis.Pass) (interface{}, error) {
+	rel, internal := relInternal(pass.Pkg.Path())
+	if !internal {
+		return nil, nil
+	}
+	layer, known := Table[rel]
+	if !known {
+		if len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"package %s is not in the moleculelint layer table: classify it in internal/lint/layers.go (Level, Sim, Report) before it grows imports",
+				pass.Pkg.Path())
+		}
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			impRel, impInternal := relInternal(path)
+			if !impInternal {
+				continue
+			}
+			if slices.Contains(layer.Deny, impRel) {
+				pass.Reportf(imp.Pos(),
+					"layering: base layer %s must not import %s; inject it consumer-side through an interface (see hw.FaultInjector / xpu.MetricSink)",
+					rel, impRel)
+				continue
+			}
+			impLayer, impKnown := Table[impRel]
+			if !impKnown {
+				pass.Reportf(imp.Pos(),
+					"layering: import of %s, which is not in the moleculelint layer table (internal/lint/layers.go)",
+					path)
+				continue
+			}
+			if impLayer.Level >= layer.Level {
+				pass.Reportf(imp.Pos(),
+					"layering: %s (level %d) must not import %s (level %d); imports must descend the layer table",
+					rel, layer.Level, impRel, impLayer.Level)
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// A base layer importing a denied package, and importing a package nobody
+// classified, are both violations.
+func TestLayeringDenyAndUnknownImport(t *testing.T) {
+	linttest.Run(t, lint.Layering,
+		linttest.Package{Path: "repro/internal/obs", Dir: "testdata/layering/obs"},
+		linttest.Package{Path: "repro/internal/newpkg", Dir: "testdata/layering/newpkg"},
+		linttest.Package{Path: "repro/internal/sim", Dir: "testdata/layering/sim"})
+}
+
+// Imports must strictly descend the level order.
+func TestLayeringLevelInversion(t *testing.T) {
+	linttest.Run(t, lint.Layering,
+		linttest.Package{Path: "repro/internal/xpu", Dir: "testdata/layering/xpu"},
+		linttest.Package{Path: "repro/internal/hw", Dir: "testdata/layering/hw"})
+}
+
+// A package absent from the table is flagged at its package clause.
+func TestLayeringUnknownPackage(t *testing.T) {
+	linttest.Run(t, lint.Layering,
+		linttest.Package{Path: "repro/internal/mystery", Dir: "testdata/layering/mystery"})
+}
+
+// A descending import (level 2 -> level 0) passes without diagnostics.
+func TestLayeringDescendingImportAllowed(t *testing.T) {
+	linttest.Run(t, lint.Layering,
+		linttest.Package{Path: "repro/internal/sim", Dir: "testdata/layering/simstub"},
+		linttest.Package{Path: "repro/internal/localos", Dir: "testdata/layering/localos"})
+}

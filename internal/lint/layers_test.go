@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Every package under internal/ must have a layer table entry, and every
+// entry must name a package that still exists — the table cannot rot in
+// either direction.
+func TestLayerTableCoversInternalTree(t *testing.T) {
+	root := ".." // this test runs in internal/lint
+	found := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if rel != "." {
+			found[filepath.ToSlash(rel)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("walked no Go packages under internal/ — wrong working directory?")
+	}
+	for pkg := range found {
+		if _, ok := Table[pkg]; !ok {
+			t.Errorf("internal/%s has Go files but no layer table entry; classify it in internal/lint/layers.go", pkg)
+		}
+	}
+	for pkg := range Table {
+		if !found[pkg] {
+			t.Errorf("layer table entry %q names no package under internal/; delete or fix it", pkg)
+		}
+	}
+}

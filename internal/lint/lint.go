@@ -1,0 +1,82 @@
+// Package lint implements moleculelint: five go/analysis analyzers that
+// machine-check the invariants this reproduction's correctness rests on but
+// the compiler cannot see.
+//
+//   - simtime: simulation-facing packages advance virtual time only; any
+//     wall-clock call (time.Now, time.Sleep, ...) silently breaks the
+//     byte-identical golden reports and seed-reproducible chaos soaks.
+//   - detrand: randomness in simulation-facing packages must flow from an
+//     explicit seeded source (as internal/faults does); the global math/rand
+//     state and crypto/rand are nondeterministic across runs.
+//   - layering: the import DAG is data (Table in layers.go), not convention.
+//     Base layers never import faults, obs, molecule, or bench — fault and
+//     metric hooks are injected consumer-side through interfaces.
+//   - maporder: report/trace/placement packages must not iterate maps in
+//     Go's randomized order unless the loop only collects keys for sorting
+//     or carries an explicit //lint:unordered <reason> marker.
+//   - hotpath: functions annotated //molecule:hotpath are pinned at zero
+//     allocations per op; fmt formatting, string concatenation, capturing
+//     closures, and unguarded Tracef calls defeat that.
+//
+// The suite runs standalone or as `go vet -vettool` via cmd/moleculelint
+// (`make lint`); each analyzer has an analysistest-style suite under
+// testdata/ driven by internal/lint/linttest.
+package lint
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers is the full moleculelint suite in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	SimTime,
+	DetRand,
+	Layering,
+	MapOrder,
+	HotPath,
+}
+
+// modulePrefix roots the layer table's keys: every entry in Table names a
+// package directory below this prefix.
+const modulePrefix = "repro/internal/"
+
+// relInternal maps an import path to its layer-table key ("repro/internal/
+// sim/simbench" -> "sim/simbench"). ok is false for packages outside the
+// internal tree (cmd/, examples/, the repo root, other modules) and for the
+// synthesized test packages go vet also feeds us ("foo_test" external test
+// packages and ".test" mains), which are exempt from every layer rule.
+func relInternal(path string) (string, bool) {
+	// go list/vet name in-package test variants "pkg [pkg.test]".
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	rel, found := strings.CutPrefix(path, modulePrefix)
+	if !found || rel == "" {
+		return "", false
+	}
+	if strings.HasSuffix(rel, "_test") || strings.Contains(rel, ".test") {
+		return "", false
+	}
+	return rel, true
+}
+
+// classify returns the layer-table entry for an import path, or ok=false
+// when the package is outside the table's jurisdiction.
+func classify(path string) (Layer, bool) {
+	rel, ok := relInternal(path)
+	if !ok {
+		return Layer{}, false
+	}
+	l, ok := Table[rel]
+	return l, ok
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file. Test
+// files may reach across layers, spend wall time, and iterate maps freely:
+// they never run inside a simulation and the golden/chaos suites already
+// pin their observable behavior.
+func isTestFile(pass *analysis.Pass, name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}

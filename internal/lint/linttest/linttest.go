@@ -1,0 +1,218 @@
+// Package linttest is an offline analysistest equivalent for the
+// moleculelint analyzers.
+//
+// The real golang.org/x/tools/go/analysis/analysistest drives go/packages,
+// which shells out to the go command per test package; this harness instead
+// parses and type-checks fixture directories directly (stdlib imports are
+// type-checked from source), builds an analysis.Pass by hand, and compares
+// the diagnostics against analysistest-style expectations:
+//
+//	rand.Intn(6) // want `global rand\.Intn`
+//
+// Each fixture directory is type-checked under a caller-chosen import path,
+// so a test can present the same file as repro/internal/sim (restricted) or
+// repro/internal/bench (allowlisted). Earlier packages in a Run call are
+// importable by later ones, which lets layering fixtures import stand-ins
+// for obs or faults under their real paths.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Package names one fixture directory and the import path to type-check it
+// under.
+type Package struct {
+	Path string // import path the analyzer will see (pass.Pkg.Path())
+	Dir  string // directory holding the fixture's .go files
+}
+
+// chainImporter resolves fixture packages first and falls back to
+// type-checking the standard library from source.
+type chainImporter struct {
+	fixtures map[string]*types.Package
+	std      types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.fixtures[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// want matches one expected-diagnostic annotation.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRx pulls the expectation strings off a `// want` comment: double- or
+// back-quoted regular expressions, analysistest style.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run type-checks every fixture package in order, runs the analyzer on the
+// last one, and asserts its diagnostics exactly match the fixture's
+// `// want` annotations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Package) {
+	t.Helper()
+	if len(pkgs) == 0 {
+		t.Fatal("linttest.Run: no fixture packages")
+	}
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		fixtures: make(map[string]*types.Package),
+		std:      importer.ForCompiler(fset, "source", nil),
+	}
+
+	var files []*ast.File // the target package's syntax
+	var tpkg *types.Package
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	for _, pkg := range pkgs {
+		syntax, err := parseDir(fset, pkg.Dir)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		conf := types.Config{Importer: imp}
+		typed, err := conf.Check(pkg.Path, fset, syntax, info)
+		if err != nil {
+			t.Fatalf("linttest: type-checking %s (%s): %v", pkg.Path, pkg.Dir, err)
+		}
+		imp.fixtures[pkg.Path] = typed
+		files, tpkg = syntax, typed
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf: map[*analysis.Analyzer]interface{}{
+			inspect.Analyzer: inspector.New(files),
+		},
+		Report:  func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile: os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s failed: %v", a.Name, err)
+	}
+
+	target := pkgs[len(pkgs)-1]
+	wants, err := parseWants(fset, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", target.Path, filepath.Base(p.Filename), p.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: missing diagnostic at %s:%d matching %q", target.Path, filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// parseDir parses every .go file in dir, in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// parseWants collects the `// want` annotations from the fixture files.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				exprs := wantRx.FindAllString(rest, -1)
+				if len(exprs) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed // want comment: %s", p.Filename, p.Line, c.Text)
+				}
+				for _, q := range exprs {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						unq, err := strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want string %s: %v", p.Filename, p.Line, q, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, pat, err)
+					}
+					wants = append(wants, &want{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

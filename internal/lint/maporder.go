@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapOrder flags `for range` over maps in packages whose iteration order can
+// leak into report, trace, metric, or placement output (the Report flag in
+// the layer table). Go randomizes map order per run, so an unsorted range is
+// exactly the bug class the bench order() rewrite and the placement-cache
+// equivalence tests guard against — here it is checked everywhere.
+//
+// A map range is accepted without annotation only when its body does nothing
+// order-sensitive: every statement either appends to a slice (the canonical
+// collect-then-sort idiom) or bumps a counter. Anything else needs the keys
+// sorted first, or an explicit waiver on the line of (or above) the loop:
+//
+//	//lint:unordered <reason why order cannot be observed>
+//
+// The reason is mandatory — a bare marker is itself a violation.
+var MapOrder = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag nondeterministic map iteration in report/trace/placement packages unless collected-and-sorted or //lint:unordered",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapOrder,
+}
+
+// unorderedMarker is the waiver comment prefix recognized by MapOrder.
+const unorderedMarker = "//lint:unordered"
+
+// unorderedWaivers maps file -> line -> marker text for every
+// //lint:unordered comment in the package.
+func unorderedWaivers(pass *analysis.Pass) map[string]map[int]string {
+	waivers := make(map[string]map[int]string)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, unorderedMarker) {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if waivers[p.Filename] == nil {
+					waivers[p.Filename] = make(map[int]string)
+				}
+				waivers[p.Filename][p.Line] = strings.TrimSpace(strings.TrimPrefix(c.Text, unorderedMarker))
+			}
+		}
+	}
+	return waivers
+}
+
+// collectOnly reports whether every statement in the loop body is order-
+// insensitive, so the randomized iteration order cannot be observed. The
+// accepted shapes are exactly the commutative ones:
+//
+//   - x = append(x, ...)        collect for a later sort
+//   - n++ / n--                 counting
+//   - n += <expr>               integer accumulation (ints commute; floats
+//     do not and are rejected)
+//   - m[key] = <expr>           building a map keyed by the range key —
+//     each iteration writes a distinct entry
+//   - if <cond> { ... }         a guard around any of the above
+//
+// Anything else — calls, sends, nested loops, writes through other keys —
+// needs the keys sorted first or an explicit //lint:unordered waiver.
+func collectOnly(pass *analysis.Pass, rangeKey string, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if !collectStmt(pass, rangeKey, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func collectStmt(pass *analysis.Pass, rangeKey string, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.IfStmt:
+		if s.Else != nil {
+			return false
+		}
+		return collectOnly(pass, rangeKey, s.Body)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ASSIGN:
+			if isAppendSelf(s) {
+				return true
+			}
+			return isRangeKeyStore(pass, rangeKey, s.Lhs[0])
+		case token.ADD_ASSIGN:
+			t := pass.TypesInfo.TypeOf(s.Lhs[0])
+			if t == nil {
+				return false
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			return ok && b.Info()&types.IsInteger != 0
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isRangeKeyStore matches `m[k] = v` where m is a map and k is the range
+// statement's own key variable: every iteration writes a distinct entry, so
+// the final map is order-independent.
+func isRangeKeyStore(pass *analysis.Pass, rangeKey string, lhs ast.Expr) bool {
+	if rangeKey == "" || rangeKey == "_" {
+		return false
+	}
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && id.Name == rangeKey
+}
+
+// isAppendSelf matches `x = append(x, ...)` (and x, ok-style single-pair
+// variants are rejected: exactly one LHS and one RHS).
+func isAppendSelf(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && first.Name == lhs.Name
+}
+
+func runMapOrder(pass *analysis.Pass) (interface{}, error) {
+	layer, ok := classify(pass.Pkg.Path())
+	if !ok || !layer.Report {
+		return nil, nil
+	}
+	waivers := unorderedWaivers(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		p := pass.Fset.Position(rs.Pos())
+		if isTestFile(pass, p.Filename) {
+			return
+		}
+		if lines := waivers[p.Filename]; lines != nil {
+			reason, found := lines[p.Line]
+			if !found {
+				reason, found = lines[p.Line-1]
+			}
+			if found {
+				if reason == "" {
+					pass.Reportf(rs.Pos(), "maporder: //lint:unordered marker needs a reason explaining why iteration order cannot be observed")
+				}
+				return
+			}
+		}
+		rangeKey := ""
+		if id, ok := rs.Key.(*ast.Ident); ok {
+			rangeKey = id.Name
+		}
+		if collectOnly(pass, rangeKey, rs.Body) {
+			return
+		}
+		pass.Reportf(rs.Pos(),
+			"maporder: range over map in report path (%s): iteration order is randomized per run; collect and sort the keys first, or annotate //lint:unordered <reason>",
+			pass.Pkg.Path())
+	})
+	return nil, nil
+}

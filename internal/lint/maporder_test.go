@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder,
+		linttest.Package{Path: "repro/internal/obs", Dir: "testdata/maporder/obs"})
+}
+
+func TestMapOrderSkipsNonReportLayers(t *testing.T) {
+	linttest.Run(t, lint.MapOrder,
+		linttest.Package{Path: "repro/internal/mem", Dir: "testdata/maporder/mem"})
+}

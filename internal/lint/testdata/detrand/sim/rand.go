@@ -1,0 +1,23 @@
+package sim
+
+import (
+	crand "crypto/rand" // want `crypto/rand in simulation package`
+	"math/rand"
+)
+
+// Roll consults the hidden global generator — nondeterministic across runs.
+func Roll() int {
+	return rand.Intn(6) // want `global rand\.Intn in simulation package`
+}
+
+// Fill reads the OS entropy pool; the import alone is flagged above.
+func Fill(b []byte) {
+	crand.Read(b)
+}
+
+// Seeded threads an explicit source: the constructors and the methods on
+// the resulting *rand.Rand are exactly the sanctioned pattern.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

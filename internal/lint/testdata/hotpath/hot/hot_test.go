@@ -1,0 +1,11 @@
+package xpu
+
+import "fmt"
+
+// Test files are exempt even with the directive present.
+//
+//molecule:hotpath
+func benchLabel(id int) string {
+	label := fmt.Sprintf("bench-%d", id)
+	return label
+}

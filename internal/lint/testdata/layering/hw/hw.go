@@ -1,0 +1,5 @@
+package hw
+
+import "repro/internal/xpu" // want `hw \(level 1\) must not import xpu \(level 3\)`
+
+func use() { xpu.Noop() }

@@ -1,0 +1,6 @@
+package localos
+
+import "repro/internal/sim"
+
+// A level-2 package importing level 0 descends the table: no diagnostic.
+func use() { sim.Noop() }

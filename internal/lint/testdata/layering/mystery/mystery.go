@@ -1,0 +1,3 @@
+package mystery // want `not in the moleculelint layer table`
+
+func Noop() {}

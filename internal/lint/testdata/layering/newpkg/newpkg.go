@@ -1,0 +1,4 @@
+// Stand-in for a freshly added internal package nobody classified yet.
+package newpkg
+
+func Noop() {}

@@ -1,0 +1,4 @@
+// Stand-in for repro/internal/obs in layering fixtures.
+package obs
+
+func Noop() {}

@@ -1,0 +1,11 @@
+package sim
+
+import (
+	"repro/internal/newpkg" // want `not in the moleculelint layer table`
+	"repro/internal/obs"    // want `base layer sim must not import obs`
+)
+
+func use() {
+	obs.Noop()
+	newpkg.Noop()
+}

@@ -1,0 +1,4 @@
+// Stand-in for repro/internal/sim in layering fixtures.
+package sim
+
+func Noop() {}

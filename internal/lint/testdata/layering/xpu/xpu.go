@@ -1,0 +1,4 @@
+// Stand-in for repro/internal/xpu in layering fixtures.
+package xpu
+
+func Noop() {}

@@ -1,0 +1,9 @@
+package mem
+
+// mem is a Sim layer without the Report flag: its map iteration feeds
+// internal state, not rendered output, so maporder leaves it alone.
+func Touch(pages map[uint64]int, visit func(uint64, int)) {
+	for addr, refs := range pages {
+		visit(addr, refs)
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "sort"
+
+// Render leaks iteration order straight into output.
+func Render(series map[string]float64, emit func(string, float64)) {
+	for k, v := range series { // want `maporder: range over map in report path`
+		emit(k, v)
+	}
+}
+
+// Sorted collects and sorts first — the canonical fix.
+func Sorted(series map[string]float64, emit func(string, float64)) {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, series[k])
+	}
+}
+
+// Tally only counts and accumulates integers: commutative, so the
+// randomized order is unobservable.
+func Tally(series map[string]float64, cutoff float64) (n int, total int64) {
+	for _, v := range series {
+		n++
+		if v > cutoff {
+			total += int64(v)
+		}
+	}
+	return n, total
+}
+
+// Mean accumulates floats, which do not commute under rounding.
+func Mean(series map[string]float64) float64 {
+	var sum float64
+	for _, v := range series { // want `maporder: range over map in report path`
+		sum += v
+	}
+	return sum / float64(len(series))
+}
+
+// Invert writes through the range key: each iteration touches a distinct
+// entry, so the final map is order-independent.
+func Invert(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k := range m {
+		out[k] = len(k)
+	}
+	return out
+}
+
+// Drain is waived with a reason: accepted.
+func Drain(pending map[string]func()) {
+	//lint:unordered callbacks are independent and the set is drained to empty
+	for _, fn := range pending {
+		fn()
+	}
+}
+
+// Flush carries a bare marker, which is itself a violation.
+func Flush(pending map[string]func()) {
+	//lint:unordered
+	for _, fn := range pending { // want `marker needs a reason`
+		fn()
+	}
+}

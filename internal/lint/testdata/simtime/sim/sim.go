@@ -1,0 +1,17 @@
+package sim
+
+import "time"
+
+// Tick reads and waits on the host clock — every call is a violation in a
+// simulation package.
+func Tick() time.Duration {
+	start := time.Now()          // want `wall-clock time\.Now in simulation package`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in simulation package`
+	return time.Since(start)     // want `wall-clock time\.Since in simulation package`
+}
+
+// Budget manipulates plain durations — values, not clock reads — and is
+// fine anywhere.
+func Budget(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "time"
+
+// Test files never run inside a simulation; wall-clock reads are allowed.
+func wallNow() time.Time { return time.Now() }

@@ -110,7 +110,19 @@ func (rt *Runtime) settleResult(d *Deployment, res Result) {
 	}
 }
 
+// handlerCrash wraps an injected handler fault and finishes the invoke
+// span with it. Kept out of invokeGeneral so the formatting lives off the
+// hot path: it only runs when a fault plan fires.
+func (rt *Runtime) handlerCrash(root *obs.Span, d *Deployment, inst *instance, ferr error) error {
+	err := fmt.Errorf("molecule: %s handler on PU %d: %w", d.Fn.Name, inst.node.pu.ID, ferr)
+	root.SetAttr("error", err.Error())
+	root.Finish()
+	return err
+}
+
 // invokeGeneral serves the request on a CPU or DPU container instance.
+//
+//molecule:hotpath
 func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions, settle bool) (Result, error) {
 	start := p.Now()
 	// Tracef checks the env flag itself, but its variadic arguments are boxed
@@ -150,10 +162,7 @@ func (rt *Runtime) invokeGeneral(p *sim.Proc, d *Deployment, opts InvokeOptions,
 		if ferr := rt.faults.HandlerFault(); ferr != nil {
 			// The handler crashed: its instance is gone, not warm.
 			rt.destroy(p, inst)
-			err := fmt.Errorf("molecule: %s handler on PU %d: %w", d.Fn.Name, inst.node.pu.ID, ferr)
-			root.SetAttr("error", err.Error())
-			root.Finish()
-			return Result{}, err
+			return Result{}, rt.handlerCrash(root, d, inst, ferr)
 		}
 	}
 	hs := rt.obs.Span(root, "handler", int(inst.node.pu.ID))
@@ -255,6 +264,8 @@ func (rt *Runtime) acquire(p *sim.Proc, d *Deployment, pin hw.PUID, forceCold bo
 // node. The unpinned hit path walks rt.order directly — same deterministic
 // lowest-PU-first preference as before, without materializing a node slice
 // per call.
+//
+//molecule:hotpath
 func (rt *Runtime) popWarm(fn string, pin hw.PUID) *instance {
 	if rt.warmTotal[fn] == 0 {
 		return nil

@@ -169,16 +169,47 @@ type Runtime struct {
 	jitterSeq uint64
 }
 
+// xpuSink adapts *obs.Observer to the shim's consumer-side xpu.MetricSink,
+// keeping the xpu package free of an obs import (base layers must not
+// depend on reporting layers). Series handles returned here are cached by
+// the shim, so the Intern cost is paid once per series, not per update.
+type xpuSink struct{ o *obs.Observer }
+
+func (s xpuSink) Counter(name, labelKey, labelValue string) xpu.Counter {
+	return s.o.CounterSet(obs.Intern(name, obs.L(labelKey, labelValue)))
+}
+
+func (s xpuSink) Gauge(name, labelKey, labelValue string) xpu.Gauge {
+	return s.o.GaugeSet(obs.Intern(name, obs.L(labelKey, labelValue)))
+}
+
+// sandboxSink is the same adapter for sandbox.MetricSink. It is a separate
+// type because Go's nominal return types make xpu.Counter and
+// sandbox.Counter distinct interfaces even with compatible method sets.
+type sandboxSink struct{ o *obs.Observer }
+
+func (s sandboxSink) Counter(name, labelKey, labelValue string) sandbox.Counter {
+	return s.o.CounterSet(obs.Intern(name, obs.L(labelKey, labelValue)))
+}
+
 // SetObserver attaches (or, with nil, detaches) the observability layer.
 // The observer is propagated to the XPU-Shim and every PU's sandbox
-// runtime, and the tracer learns the machine's PU names so exported traces
-// render one named track per PU.
+// runtime through their consumer-side metric sinks, and the tracer learns
+// the machine's PU names so exported traces render one named track per PU.
 func (rt *Runtime) SetObserver(o *obs.Observer) {
 	rt.obs = o
-	rt.Shim.Obs = o
+	if o != nil {
+		rt.Shim.SetMetrics(xpuSink{o})
+	} else {
+		rt.Shim.SetMetrics(nil)
+	}
 	for _, n := range rt.orderedNodes() {
 		if n.cr != nil {
-			n.cr.Obs = o
+			if o != nil {
+				n.cr.Metrics = sandboxSink{o}
+			} else {
+				n.cr.Metrics = nil
+			}
 		}
 		if o != nil {
 			o.Tracer.NamePU(int(n.pu.ID), fmt.Sprintf("PU %d (%s %s)", n.pu.ID, n.pu.Kind, n.pu.Name))
@@ -424,8 +455,15 @@ func (rt *Runtime) KillExecutor(p *sim.Proc, id hw.PUID) error {
 		return fmt.Errorf("molecule: cannot kill the control-plane executor")
 	}
 	n.execDead = true
-	// The executor's children die with it: drop the PU's warm pools.
-	for fn, pool := range n.warm {
+	// The executor's children die with it: drop the PU's warm pools, in
+	// sorted function order so the teardown sequence is deterministic.
+	fns := make([]string, 0, len(n.warm))
+	for fn := range n.warm {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		pool := n.warm[fn]
 		for _, inst := range pool {
 			sandbox.DeleteOne(p, n.cr, inst.sandboxID)
 			n.liveCount--

@@ -213,6 +213,8 @@ func Intern(name string, labels ...Label) LabelSet {
 
 // CounterSet returns the counter series for a pre-interned LabelSet,
 // creating it on first use. Zero allocations on the hit path. Nil-safe.
+//
+//molecule:hotpath
 func (r *Registry) CounterSet(ls LabelSet) *Counter {
 	if r == nil {
 		return nil
@@ -227,6 +229,8 @@ func (r *Registry) CounterSet(ls LabelSet) *Counter {
 
 // GaugeSet returns the gauge series for a pre-interned LabelSet, creating it
 // on first use. Zero allocations on the hit path. Nil-safe.
+//
+//molecule:hotpath
 func (r *Registry) GaugeSet(ls LabelSet) *Gauge {
 	if r == nil {
 		return nil
@@ -241,6 +245,8 @@ func (r *Registry) GaugeSet(ls LabelSet) *Gauge {
 
 // HistogramSet returns the histogram series for a pre-interned LabelSet,
 // creating it on first use. Zero allocations on the hit path. Nil-safe.
+//
+//molecule:hotpath
 func (r *Registry) HistogramSet(ls LabelSet) *Histogram {
 	if r == nil {
 		return nil

@@ -77,6 +77,8 @@ func (o *Observer) Histogram(name string, labels ...Label) *Histogram {
 
 // CounterSet is Counter for a pre-interned LabelSet: one map probe, no
 // per-call sort or string building. Nil-safe.
+//
+//molecule:hotpath
 func (o *Observer) CounterSet(ls LabelSet) *Counter {
 	if o == nil {
 		return nil
@@ -85,6 +87,8 @@ func (o *Observer) CounterSet(ls LabelSet) *Counter {
 }
 
 // GaugeSet is Gauge for a pre-interned LabelSet. Nil-safe.
+//
+//molecule:hotpath
 func (o *Observer) GaugeSet(ls LabelSet) *Gauge {
 	if o == nil {
 		return nil
@@ -93,6 +97,8 @@ func (o *Observer) GaugeSet(ls LabelSet) *Gauge {
 }
 
 // HistogramSet is Histogram for a pre-interned LabelSet. Nil-safe.
+//
+//molecule:hotpath
 func (o *Observer) HistogramSet(ls LabelSet) *Histogram {
 	if o == nil {
 		return nil

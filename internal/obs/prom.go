@@ -54,14 +54,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f.series = append(f.series, s)
 	}
 	// Series keys embed the family name before the first 0xff separator.
+	//lint:unordered every family and series is sorted below before rendering
 	for k, c := range r.counters {
 		name := familyName(k)
 		add(name, "counter", promSeries{name: name, labels: labelBlock(c.labels), value: fmt.Sprintf("%d", c.v)})
 	}
+	//lint:unordered every family and series is sorted below before rendering
 	for k, g := range r.gauges {
 		name := familyName(k)
 		add(name, "gauge", promSeries{name: name, labels: labelBlock(g.labels), value: fmtFloat(g.v)})
 	}
+	//lint:unordered families sort below; one histogram's buckets stay in ascending-le insertion order under the stable sort
 	for k, h := range r.hists {
 		name := familyName(k)
 		cum := int64(0)

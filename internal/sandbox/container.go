@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/lang"
 	"repro/internal/localos"
-	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -35,6 +34,19 @@ type FaultInjector interface {
 	CreateFault() error
 }
 
+// Counter is a monotonically increasing metric series handle.
+type Counter interface {
+	Inc()
+}
+
+// MetricSink is the runtime's consumer-side view of a metrics registry.
+// Declared here so sandbox need not import the obs package (the same
+// inversion as FaultInjector); molecule's observer adapter implements it
+// over *obs.Observer.
+type MetricSink interface {
+	Counter(name, labelKey, labelValue string) Counter
+}
+
 type ContainerRuntime struct {
 	OS *localos.OS
 
@@ -43,9 +55,9 @@ type ContainerRuntime struct {
 	UseCfork bool
 	// CpusetMutexPatch applies the kernel cpuset patch (Fig 11a).
 	CpusetMutexPatch bool
-	// Obs, when non-nil, counts fork/boot and container-pool events. Nil
-	// (the default) adds no cost to the start path.
-	Obs *obs.Observer
+	// Metrics, when non-nil, counts fork/boot and container-pool events.
+	// Nil (the default) adds no cost to the start path.
+	Metrics MetricSink
 	// Faults, when non-nil, can fail sandbox creation probabilistically.
 	// Consulted before the container pool is touched, so an injected
 	// failure never consumes a prepared container.
@@ -61,9 +73,13 @@ type preparedContainer struct {
 	cg *localos.Cgroup
 }
 
-// puLabel renders the runtime's PU as the standard {pu="N"} metric label.
-func (cr *ContainerRuntime) puLabel() obs.Label {
-	return obs.L("pu", strconv.Itoa(int(cr.OS.PU.ID)))
+// count bumps a lifecycle counter labeled with the runtime's PU; a nil
+// sink makes it free.
+func (cr *ContainerRuntime) count(series string) {
+	if cr.Metrics == nil {
+		return
+	}
+	cr.Metrics.Counter(series, "pu", strconv.Itoa(int(cr.OS.PU.ID))).Inc()
 }
 
 // NewContainerRuntime returns a container runtime on the given OS.
@@ -139,13 +155,11 @@ func (cr *ContainerRuntime) Create(p *sim.Proc, specs []Spec) error {
 			}
 		}
 		ns, cg, pooled := cr.takeContainer(p, "fc-"+spec.ID)
-		if o := cr.Obs; o != nil {
-			series := "sandbox_pool_misses_total"
-			if pooled {
-				series = "sandbox_pool_hits_total"
-			}
-			o.Counter(series, cr.puLabel()).Inc()
+		series := "sandbox_pool_misses_total"
+		if pooled {
+			series = "sandbox_pool_hits_total"
 		}
+		cr.count(series)
 		cr.sandboxes[spec.ID] = &ContainerSandbox{
 			Spec: spec, State: StateCreated, ns: ns, cg: cg,
 		}
@@ -183,17 +197,13 @@ func (cr *ContainerRuntime) Start(p *sim.Proc, ids []string) error {
 				return err
 			}
 			sb.Inst, sb.Forked = inst, true
-			if o := cr.Obs; o != nil {
-				o.Counter("sandbox_cfork_total", cr.puLabel()).Inc()
-			}
+			cr.count("sandbox_cfork_total")
 		} else {
 			inst := lang.BootCold(p, cr.OS, spec, "fn-"+sb.Spec.FuncID, false)
 			inst.Proc.NS, inst.Proc.CG = sb.ns, sb.cg
 			inst.LoadFunction(p, sb.Spec.FuncID)
 			sb.Inst, sb.Forked = inst, false
-			if o := cr.Obs; o != nil {
-				o.Counter("sandbox_plain_boots_total", cr.puLabel()).Inc()
-			}
+			cr.count("sandbox_plain_boots_total")
 		}
 		sb.State = StateRunning
 	}

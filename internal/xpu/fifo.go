@@ -5,28 +5,27 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/localos"
-	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
-// nipcSeries holds the interned label sets for one directed link's nIPC
-// counters, built once per link instead of fmt.Sprintf-ing a label per
-// message.
+// nipcSeries holds the cached counter handles for one directed link's nIPC
+// traffic, built once per link instead of fmt.Sprintf-ing a label (and
+// probing the registry) per message.
 type nipcSeries struct {
-	msgs  obs.LabelSet
-	bytes obs.LabelSet
+	msgs  Counter
+	bytes Counter
 }
 
-// linkSeries returns (creating on first use) the interned series for the
-// directed link src->dst.
+// linkSeries returns (creating on first use) the cached series for the
+// directed link src->dst. Callers check s.metrics != nil first.
 func (s *Shim) linkSeries(src, dst hw.PUID) *nipcSeries {
 	k := [2]hw.PUID{src, dst}
 	ls := s.nipcLS[k]
 	if ls == nil {
-		l := obs.L("link", fmt.Sprintf("%d->%d", src, dst))
+		link := fmt.Sprintf("%d->%d", src, dst)
 		ls = &nipcSeries{
-			msgs:  obs.Intern("xpu_nipc_messages_total", l),
-			bytes: obs.Intern("xpu_nipc_bytes_total", l),
+			msgs:  s.metrics.Counter("xpu_nipc_messages_total", "link", link),
+			bytes: s.metrics.Counter("xpu_nipc_bytes_total", "link", link),
 		}
 		s.nipcLS[k] = ls
 	}
@@ -35,21 +34,31 @@ func (s *Shim) linkSeries(src, dst hw.PUID) *nipcSeries {
 
 // recordNIPC counts n cross-PU FIFO payloads totalling bytes on the directed
 // link src->dst.
+//
+//molecule:hotpath
 func (s *Shim) recordNIPC(src, dst hw.PUID, n, bytes int) {
-	o := s.Obs
-	if o == nil {
+	if s.metrics == nil {
 		return
 	}
 	ls := s.linkSeries(src, dst)
-	o.CounterSet(ls.msgs).Add(int64(n))
-	o.CounterSet(ls.bytes).Add(int64(bytes))
+	ls.msgs.Add(int64(n))
+	ls.bytes.Add(int64(bytes))
 }
 
-// recordDepth tracks a FIFO's queue depth after a send or receive.
+// recordDepth tracks a FIFO's queue depth after a send or receive. The
+// gauge handle materializes on first use with a sink attached, matching the
+// lazy series creation of the registry itself.
+//
+//molecule:hotpath
 func (s *Shim) recordDepth(f *XPUFIFO) {
-	if o := s.Obs; o != nil {
-		o.GaugeSet(f.depthLS).Set(float64(f.ch.Len()))
+	m := s.metrics
+	if m == nil {
+		return
 	}
+	if f.depth == nil {
+		f.depth = m.Gauge("xpu_fifo_depth", "fifo", f.UUID)
+	}
+	f.depth.Set(float64(f.ch.Len()))
 }
 
 // XPUFIFO is the neighbor-IPC object: a FIFO whose endpoints may live on
@@ -70,9 +79,9 @@ type XPUFIFO struct {
 	// FIFOInit instead of a nodes-map lookup per Write/Read.
 	homeHost hw.PUID
 
-	depthLS obs.LabelSet // interned xpu_fifo_depth series
-	ch      *sim.Chan[localos.Message]
-	closed  bool
+	depth  Gauge // cached xpu_fifo_depth handle, built on first record
+	ch     *sim.Chan[localos.Message]
+	closed bool
 }
 
 // Len reports queued messages.
@@ -129,7 +138,6 @@ func (n *Node) FIFOInit(p *sim.Proc, caller XPID, uuid string, capacity int) (*F
 		Home:     n.PU.ID,
 		Owner:    caller,
 		homeHost: n.Host.ID,
-		depthLS:  obs.Intern("xpu_fifo_depth", obs.L("fifo", uuid)),
 		ch:       sim.NewChan[localos.Message](n.Shim.Env, capacity),
 	}
 	n.Shim.fifos[uuid] = f
@@ -163,6 +171,8 @@ func (n *Node) FIFOConnect(p *sim.Proc, caller XPID, uuid string) (*FD, error) {
 // the same PU the remote-path guard tests, so a virtual node whose FIFO
 // lives on its own host charges nothing, and one whose host differs from
 // its logical PU charges the actual host-to-home link.
+//
+//molecule:hotpath
 func (fd *FD) Write(p *sim.Proc, m localos.Message) error {
 	n := fd.node
 	if err := n.failfast(); err != nil {
@@ -195,6 +205,8 @@ func (fd *FD) Write(p *sim.Proc, m localos.Message) error {
 // Read implements xfifo_read, blocking until a message is available. The
 // caller must hold read permission. Readers hosted away from the queue's
 // physical home pull the payload across the interconnect.
+//
+//molecule:hotpath
 func (fd *FD) Read(p *sim.Proc) (localos.Message, error) {
 	n := fd.node
 	if err := n.failfast(); err != nil {

@@ -55,7 +55,8 @@ func TestReadViaCrashedNodeReturnsNodeDown(t *testing.T) {
 func TestWriteBatchAmortizesBaseLatency(t *testing.T) {
 	const k = 8
 	r := newRig(t)
-	r.shim.Obs = obs.New(r.env)
+	o := obs.New(r.env)
+	r.shim.SetMetrics(obsSink{o})
 	r.env.Spawn("test", func(p *sim.Proc) {
 		fd, err := r.cpuNode.FIFOInit(p, r.cpuXPID, "f", 2*k)
 		if err != nil {
@@ -107,7 +108,7 @@ func TestWriteBatchAmortizesBaseLatency(t *testing.T) {
 				t.Errorf("message %d = %q, want %q", i, m.Kind, want)
 			}
 		}
-		if got := r.shim.Obs.Counter("xpu_nipc_messages_total", obs.L("link", "1->0")).Value(); got != 2*k {
+		if got := o.Counter("xpu_nipc_messages_total", obs.L("link", "1->0")).Value(); got != 2*k {
 			t.Errorf("nIPC messages on 1->0 = %d, want %d", got, 2*k)
 		}
 	})
@@ -203,7 +204,7 @@ func newBenchRig() *benchRig {
 func benchFIFOWrite(b *testing.B, remote, attach bool) {
 	r := newBenchRig()
 	if attach {
-		r.shim.Obs = obs.New(r.env)
+		r.shim.SetMetrics(obsSink{obs.New(r.env)})
 	}
 	r.env.Spawn("bench", func(p *sim.Proc) {
 		fd, err := r.cpuNode.FIFOInit(p, r.cpuXPID, "f", 4)

@@ -47,7 +47,8 @@ func newAccelRig(t *testing.T) *accelRig {
 // PU against the home and charged a spurious CPU->CPU self-transfer.
 func TestVirtualNodeLocalFIFOChargesNoTransfer(t *testing.T) {
 	r := newAccelRig(t)
-	r.shim.Obs = obs.New(r.env)
+	o := obs.New(r.env)
+	r.shim.SetMetrics(obsSink{o})
 	r.env.Spawn("test", func(p *sim.Proc) {
 		fd, err := r.cpuNode.FIFOInit(p, r.cpuXPID, "f", 4) // Home = CPU (PU 0)
 		if err != nil {
@@ -70,7 +71,7 @@ func TestVirtualNodeLocalFIFOChargesNoTransfer(t *testing.T) {
 		if want := TransportBase.CallOverhead(hw.CPU); elapsed != want {
 			t.Errorf("virtual-node local write took %v, want bare XPUcall %v", elapsed, want)
 		}
-		if got := r.shim.Obs.Counter("xpu_nipc_messages_total", obs.L("link", "0->0")).Value(); got != 0 {
+		if got := o.Counter("xpu_nipc_messages_total", obs.L("link", "0->0")).Value(); got != 0 {
 			t.Errorf("local write recorded %d self-link nIPC messages", got)
 		}
 		if _, err := fd.Read(p); err != nil {
@@ -86,7 +87,8 @@ func TestVirtualNodeLocalFIFOChargesNoTransfer(t *testing.T) {
 // CPU-intercepted two-hop link, instead of the direct DPU->CPU RDMA link).
 func TestFIFOOnVirtualNodeChargesHostLink(t *testing.T) {
 	r := newAccelRig(t)
-	r.shim.Obs = obs.New(r.env)
+	o := obs.New(r.env)
+	r.shim.SetMetrics(obsSink{o})
 	r.env.Spawn("test", func(p *sim.Proc) {
 		_, err := r.fpgaNode.FIFOInit(p, r.fpgaXPID, "vf", 4) // Home = FPGA (PU 2), hosted on CPU (PU 0)
 		if err != nil {
@@ -109,10 +111,10 @@ func TestFIFOOnVirtualNodeChargesHostLink(t *testing.T) {
 		if elapsed != want {
 			t.Errorf("remote write to virtual-node FIFO took %v, want XPUcall+RDMA %v", elapsed, want)
 		}
-		if got := r.shim.Obs.Counter("xpu_nipc_messages_total", obs.L("link", "1->0")).Value(); got != 1 {
+		if got := o.Counter("xpu_nipc_messages_total", obs.L("link", "1->0")).Value(); got != 1 {
 			t.Errorf("nIPC recorded on 1->0 = %d, want 1 (the physical DPU->host link)", got)
 		}
-		if got := r.shim.Obs.Counter("xpu_nipc_messages_total", obs.L("link", "1->2")).Value(); got != 0 {
+		if got := o.Counter("xpu_nipc_messages_total", obs.L("link", "1->2")).Value(); got != 0 {
 			t.Errorf("nIPC recorded on logical link 1->2 = %d, want 0", got)
 		}
 	})

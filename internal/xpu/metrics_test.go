@@ -1,0 +1,51 @@
+package xpu
+
+import (
+	"testing"
+
+	"repro/internal/localos"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// obsSink adapts *obs.Observer to the shim's consumer-side MetricSink, the
+// same shape molecule's production adapter uses. Tests keep the Observer in
+// hand to read counters back.
+type obsSink struct{ o *obs.Observer }
+
+func (s obsSink) Counter(name, labelKey, labelValue string) Counter {
+	return s.o.CounterSet(obs.Intern(name, obs.L(labelKey, labelValue)))
+}
+
+func (s obsSink) Gauge(name, labelKey, labelValue string) Gauge {
+	return s.o.GaugeSet(obs.Intern(name, obs.L(labelKey, labelValue)))
+}
+
+// A FIFO created before the metric sink is attached must still materialize
+// its depth gauge lazily on the next queue-depth change, and detaching must
+// stop updates without disturbing the already-exported series.
+func TestSetMetricsLateAttachAndDetach(t *testing.T) {
+	r := newRig(t)
+	o := obs.New(r.env)
+	r.env.Spawn("test", func(p *sim.Proc) {
+		fd, err := r.cpuNode.FIFOInit(p, r.cpuXPID, "f", 4) // created detached
+		if err != nil {
+			t.Fatalf("FIFOInit: %v", err)
+		}
+		r.shim.SetMetrics(obsSink{o})
+		if err := fd.Write(p, localos.Message{Kind: "m"}); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if got := o.Gauge("xpu_fifo_depth", obs.L("fifo", "f")).Value(); got != 1 {
+			t.Errorf("depth gauge after late attach = %v, want 1", got)
+		}
+		r.shim.SetMetrics(nil)
+		if _, err := fd.Read(p); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if got := o.Gauge("xpu_fifo_depth", obs.L("fifo", "f")).Value(); got != 1 {
+			t.Errorf("depth gauge after detach = %v, want stale 1 (no updates)", got)
+		}
+	})
+	r.env.Run()
+}

@@ -27,7 +27,6 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/localos"
-	"repro/internal/obs"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -42,6 +41,27 @@ var ErrNodeDown = errors.New("xpu: node down")
 // implements it.
 type FaultView interface {
 	Down(id hw.PUID) bool
+}
+
+// Counter is a monotonically increasing metric series handle.
+type Counter interface {
+	Add(n int64)
+}
+
+// Gauge is a point-in-time metric series handle.
+type Gauge interface {
+	Set(v float64)
+}
+
+// MetricSink hands the shim interned handles into a metrics registry.
+// Declared consumer-side so xpu need not import the obs package — the same
+// inversion as FaultView — and molecule's observer adapter implements it
+// over *obs.Observer. The shim caches the returned handles per link and per
+// FIFO, so the data path performs zero registry lookups and zero
+// allocations per message (pinned by TestFIFOWritePathZeroAlloc).
+type MetricSink interface {
+	Counter(name, labelKey, labelValue string) Counter
+	Gauge(name, labelKey, labelValue string) Gauge
 }
 
 // XPID is a globally unique process identifier: the PU's ID plus the
@@ -162,9 +182,11 @@ type Shim struct {
 	EagerDeletes bool
 	stats        SyncStats
 
-	// Obs, when non-nil, records per-link nIPC traffic counters and FIFO
-	// depth gauges. Nil (the default) costs nothing on the data path.
-	Obs *obs.Observer
+	// metrics, when non-nil, records per-link nIPC traffic counters and
+	// FIFO depth gauges. Nil (the default) costs nothing on the data path.
+	// Set through SetMetrics so cached series handles never outlive the
+	// sink they came from.
+	metrics MetricSink
 
 	// Faults, when non-nil, lets XPUcalls against crashed PUs fail fast
 	// with ErrNodeDown. Nil keeps every path byte-identical.
@@ -188,6 +210,17 @@ func NewShim(env *sim.Env, m *hw.Machine) *Shim {
 
 // Stats returns synchronization counters.
 func (s *Shim) Stats() SyncStats { return s.stats }
+
+// SetMetrics attaches (or, with nil, detaches) the metric sink. Cached
+// per-link and per-FIFO series handles are dropped so a reattached sink
+// starts fresh instead of feeding series interned in a previous registry.
+func (s *Shim) SetMetrics(m MetricSink) {
+	s.metrics = m
+	s.nipcLS = make(map[[2]hw.PUID]*nipcSeries)
+	for _, f := range s.fifos {
+		f.depth = nil
+	}
+}
 
 // Node is the XPU-Shim instance on (or for) one PU.
 type Node struct {
