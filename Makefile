@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson report report-md golden trace-demo examples clean
+.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson shards-race report report-md golden trace-demo examples clean
 
 all: check
 
@@ -47,11 +47,13 @@ microbench:
 	$(GO) test ./internal/molecule -bench 'InvokeWarm' -benchmem -run xxx
 
 # One iteration of every microbenchmark — a CI smoke test that the bench
-# rigs still build and run, without paying for stable numbers.
+# rigs still build and run, without paying for stable numbers. The tiny
+# -soak run doubles as a fingerprint-equality check across shard counts.
 bench-smoke:
 	$(GO) test ./internal/sim -bench 'Kernel|ChanPingPong' -benchtime 1x -run xxx
 	$(GO) test ./internal/xpu -bench 'FIFOWrite' -benchtime 1x -run xxx
 	$(GO) test ./internal/molecule -bench 'InvokeWarm' -benchtime 1x -run xxx
+	$(GO) run ./cmd/molecule-bench -soak - -soak-inv 2000
 
 # Regenerate the machine-readable perf snapshot (BENCH_kernel.json).
 perfjson:
@@ -60,6 +62,17 @@ perfjson:
 # Regenerate the batched-nIPC amortization snapshot (BENCH_nipc.json).
 nipcjson:
 	$(GO) run ./cmd/molecule-bench -nipc BENCH_nipc.json > /dev/null
+
+# Regenerate the sharded-kernel scaling snapshot (BENCH_sim.json): the
+# coupled multi-machine soak at shard counts {1,2,4}∪{NumCPU}, with the
+# fingerprint-equality check enforced at every point.
+simjson:
+	$(GO) run ./cmd/molecule-bench -soak BENCH_sim.json
+
+# The sharded kernel under the race detector, with every bench-harness
+# simulation forced through the windowed driver at 4 OS workers.
+shards-race:
+	MOLECULE_SHARDS=4 $(GO) test -race -count=1 ./internal/sim/... ./internal/bench/...
 
 # Regenerate every paper table/figure (plus ablations) to stdout.
 report:

@@ -80,6 +80,47 @@ func runObsDemo(tracePath, metricsPath string) error {
 	return nil
 }
 
+// simJSON is the scaling snapshot written by -soak (BENCH_sim.json): the
+// same coupled multi-machine workload at each shard count, with the
+// fingerprint-equality check already enforced by the sweep itself.
+type simJSON struct {
+	Machines    int                     `json:"machines"`
+	Invocations int                     `json:"invocations_per_machine"`
+	Points      []bench.ShardSoakResult `json:"points"`
+}
+
+// soakShardCounts is the sweep {1, 2, 4} ∪ {NumCPU}, clamped to the machine
+// count (a shard with no machines would be pure overhead).
+func soakShardCounts(machines int) []int {
+	counts := []int{}
+	for _, s := range []int{1, 2, 4, runtime.NumCPU()} {
+		if s <= machines && (len(counts) == 0 || s > counts[len(counts)-1]) {
+			counts = append(counts, s)
+		}
+	}
+	return counts
+}
+
+func runShardSoak(path string, machines, inv int) error {
+	points, err := bench.ShardSoakSweep(machines, inv, soakShardCounts(machines))
+	if err != nil {
+		return err
+	}
+	bench.ShardSoakTable(points).Fprint(os.Stdout)
+	if path == "-" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(simJSON{Machines: machines, Invocations: inv, Points: points}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment id(s) to run, comma separated (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
@@ -91,7 +132,21 @@ func main() {
 	metricsPath := flag.String("metrics", "", "run the observability demo workload and write its Prometheus metrics to this `file` (\"-\" = stdout), then exit")
 	chaosSeed := flag.Uint64("chaos", 0, "run the seeded chaos soak demo (kill/revive + fault injection) and exit (0 = off)")
 	nipcPath := flag.String("nipc", "", "run the batched-nIPC sweep, print its tables, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
+	shards := flag.Int("shards", bench.SimShards(), "kernel workers per simulation: 0/1 = classic sequential kernel, N > 1 = sharded windowed driver with N OS workers (output is identical either way; default from MOLECULE_SHARDS)")
+	soakPath := flag.String("soak", "", "run the sharded-kernel scaling soak, print its table, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
+	soakMachines := flag.Int("soak-machines", 4, "with -soak: simulated machines")
+	soakInv := flag.Int("soak-inv", 50000, "with -soak: invocations per machine")
 	flag.Parse()
+
+	bench.SetSimShards(*shards)
+
+	if *soakPath != "" {
+		if err := runShardSoak(*soakPath, *soakMachines, *soakInv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *nipcPath != "" {
 		sweeps := bench.NIPCBatch()

@@ -10,8 +10,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -169,12 +171,51 @@ func RunAllMarkdownParallel(w io.Writer, workers int) {
 	})
 }
 
+// simShards is the worker count sandboxed uses for its simulations.
+// <= 1 runs the classic sequential kernel (sim.Env.Run); > 1 routes every
+// experiment through the sharded windowed driver with that many OS workers.
+// Results are byte-identical either way — that invariant is what the shard
+// determinism tests pin — so this is purely a perf/regression knob.
+var simShards atomic.Int32
+
+func init() {
+	if s := os.Getenv("MOLECULE_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			simShards.Store(int32(n))
+		}
+	}
+}
+
+// SetSimShards sets the kernel worker count used by every experiment's
+// simulation (see simShards). It overrides the MOLECULE_SHARDS environment
+// variable and may be changed between runs; 0 or 1 restores the classic
+// sequential kernel.
+func SetSimShards(n int) { simShards.Store(int32(n)) }
+
+// SimShards reports the current kernel worker count (0 = classic).
+func SimShards() int { return int(simShards.Load()) }
+
 // sandboxed runs body as the driver process of a fresh simulation and
 // returns after the simulation drains.
+//
+// With SimShards() <= 1 this is the original code path: one sim.Env, one
+// heap, Env.Run. With SimShards() > 1 the same single-domain simulation is
+// instead driven by the sharded conservative kernel (a 1ms lookahead window,
+// SimShards() OS workers), which must — and, per the determinism tests, does
+// — produce bit-identical results; running the full experiment suite through
+// the windowed driver is the broadest regression test the sharded kernel has.
 func sandboxed(body func(p *sim.Proc)) {
-	env := sim.NewEnv()
-	env.Spawn("bench-driver", func(p *sim.Proc) { body(p) })
-	env.Run()
+	workers := SimShards()
+	if workers <= 1 {
+		env := sim.NewEnv()
+		env.Spawn("bench-driver", func(p *sim.Proc) { body(p) })
+		env.Run()
+		return
+	}
+	sh := sim.NewSharded(1)
+	sh.LimitLookahead(time.Millisecond)
+	sh.Domain(0).Spawn("bench-driver", func(p *sim.Proc) { body(p) })
+	sh.Run(workers)
 }
 
 // newMolecule builds a Molecule runtime inside the driver process.

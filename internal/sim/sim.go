@@ -15,6 +15,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -89,11 +90,27 @@ type Env struct {
 
 	free []*event // recycled fired events, capped at maxFreeEvents
 
+	// Sharded-execution fields. A standalone Env (NewEnv) has group == nil
+	// and domain 0; an Env created by NewSharded is one domain of a group.
+	// windowBound is the exclusive virtual-time bound of the window the
+	// domain is currently executing: 0 means unbounded (the classic
+	// single-heap loop), a positive value caps the Sleep fast path so a
+	// process cannot advance past a barrier at which cross-domain messages
+	// are delivered, and fastPathOff disables the fast path entirely (the
+	// zero-lookahead sequential merge, where a cross-domain message may
+	// arrive at any time >= now).
+	group       *Sharded
+	domain      int
+	windowBound Time
+
 	tracing bool
 	trace   []TraceEvent
 	spawned []*Proc // procs visible to BlockedProcs; compacted as procs exit
 	exited  int     // exited procs still occupying a spawned slot
 }
+
+// fastPathOff is the windowBound sentinel that disables the Sleep fast path.
+const fastPathOff Time = -1
 
 // maxFreeEvents caps the recycle pool; beyond this, fired events are left
 // for the GC. The cap bounds kernel memory on runs with huge event bursts.
@@ -106,6 +123,18 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// Domain returns the index of this Env within its sharded group (0 for a
+// standalone Env).
+func (e *Env) Domain() int { return e.domain }
+
+// Scheduled reports the total number of events the environment has sequenced
+// since creation, including wake-ups the Sleep fast path elides. It is a
+// deterministic measure of kernel work: for a well-formed sharded workload it
+// is identical at every shard and worker count, which makes it both the
+// events/sec numerator of the scaling benchmarks and a cheap determinism
+// fingerprint.
+func (e *Env) Scheduled() int64 { return e.seq }
 
 // newEvent takes an event from the recycle pool (or allocates one) and
 // stamps it with the clamped time and the next sequence number.
@@ -288,7 +317,8 @@ func (p *Proc) park() resumeMsg {
 //
 // Fast path: when p is the running process and its wake-up would be the very
 // next event to fire (no other event is due at or before the wake time, no
-// Stop or RunUntil horizon intervenes), the kernel advances the clock and
+// Stop, RunUntil horizon, or shard-window bound intervenes), the kernel
+// advances the clock and
 // returns directly — the outcome is identical to parking, having the
 // scheduler pop the wake event, and resuming, but without the two channel
 // handoffs or the heap traffic. Pending same-instant events (including
@@ -302,6 +332,7 @@ func (p *Proc) Sleep(d Duration) {
 	env := p.env
 	t := env.now.After(d)
 	if env.running == p && !env.stopped && (env.limit == 0 || t <= env.limit) &&
+		(env.windowBound == 0 || (env.windowBound > 0 && t < env.windowBound)) &&
 		(len(env.events) == 0 || env.events.peek().t > t) {
 		env.seq++ // account for the wake event this path elides
 		env.now = t
@@ -354,6 +385,52 @@ func (e *Env) loop() Time {
 	return e.now
 }
 
+// window is the shard dispatch loop: it fires every queued event with
+// t < bound and returns the number fired. Events at or beyond the bound stay
+// queued for a later window, after the group barrier has delivered pending
+// cross-domain messages. While the window is open the Sleep fast path is
+// capped at the bound, so no process can advance past a barrier it must
+// observe. The loop itself allocates nothing; all allocation happens (or is
+// elided) inside the fired events, exactly as in the classic loop.
+//
+//molecule:hotpath
+func (e *Env) window(bound Time) int {
+	e.windowBound = bound
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		if e.events.peek().t >= bound {
+			break
+		}
+		ev := e.events.popEv()
+		e.now = ev.t
+		e.fire(ev)
+		n++
+	}
+	e.windowBound = 0
+	return n
+}
+
+// fireNext pops and fires the single earliest event with the fast path
+// disabled; the zero-lookahead sequential merge uses it, where a cross-domain
+// message may arrive at any future instant and therefore no elided wake-up is
+// safe. The caller has checked that an event is queued.
+func (e *Env) fireNext() {
+	e.windowBound = fastPathOff
+	ev := e.events.popEv()
+	e.now = ev.t
+	e.fire(ev)
+	e.windowBound = 0
+}
+
+// nextEventTime returns the time of the earliest queued event and whether
+// one exists.
+func (e *Env) nextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events.peek().t, true
+}
+
 // Pending reports the number of queued events.
 func (e *Env) Pending() int { return len(e.events) }
 
@@ -365,6 +442,12 @@ func (e *Env) LiveProcs() int { return e.nprocs }
 // BlockedProcs returns the names of processes that were spawned and have
 // not exited — after Run returns, these are parked forever. For diagnosing
 // deadlocks in tests.
+//
+// The returned slice is sorted lexicographically. That order is a documented
+// guarantee: spawn order is an implementation detail that differs between a
+// monolithic run and a domain-sharded run of the same workload (and between
+// shard counts), so diagnostics built on BlockedProcs compare equal at every
+// shard and worker count.
 func (e *Env) BlockedProcs() []string {
 	var out []string
 	for _, p := range e.spawned {
@@ -372,5 +455,6 @@ func (e *Env) BlockedProcs() []string {
 			out = append(out, p.name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }

@@ -89,6 +89,30 @@ func ChanPingPong(b *testing.B) {
 	env.Run()
 }
 
+// CrossShardSend measures one cross-domain message on a two-domain sharded
+// group: outbox append, the barrier's deterministic merge, and delivery into
+// the destination heap, amortized over the window the conservative driver
+// opens per round. A single worker drives both domains so the number
+// isolates kernel cost from OS-thread handoff noise; real-core dispatch is
+// covered by the sharded soak scaling curve (BENCH_sim.json).
+func CrossShardSend(b *testing.B) {
+	b.ReportAllocs()
+	sh := sim.NewSharded(2)
+	sh.LimitLookahead(time.Microsecond)
+	var received int
+	sh.Domain(0).Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sh.Send(p.Env(), 1, time.Microsecond, func() { received++ })
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	sh.Run(1)
+	if received != b.N {
+		b.Fatalf("lost cross-shard messages: %d of %d delivered", received, b.N)
+	}
+}
+
 // All runs every kernel microbenchmark through testing.Benchmark and returns
 // the results. Used by molecule-bench -json.
 func All() []Result {
@@ -100,6 +124,7 @@ func All() []Result {
 		{"KernelSleepContended", SleepContended},
 		{"KernelSpawn", Spawn},
 		{"ChanPingPong", ChanPingPong},
+		{"KernelCrossShardSend", CrossShardSend},
 	}
 	out := make([]Result, 0, len(benches))
 	for _, bm := range benches {

@@ -5,6 +5,8 @@ package repro
 // cache, and the FPGA resource model.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
@@ -55,6 +57,71 @@ func TestSimClockMonotoneProperty(t *testing.T) {
 		return end == maxEnd
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardedDeterminismProperty: for any workload of random sleeps plus
+// cross-domain sends, the sharded kernel produces bit-identical
+// observations (per-domain clock samples, delivery counts, total scheduled
+// events, final time) at worker counts 1, 2, 4, and NumCPU, and every
+// domain's clock is monotone throughout.
+func TestShardedDeterminismProperty(t *testing.T) {
+	f := func(delays [][]uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 12 {
+			delays = delays[:12]
+		}
+		doms := len(delays)%4 + 1
+		run := func(workers int) (string, bool) {
+			sh := sim.NewSharded(doms)
+			sh.LimitLookahead(time.Microsecond)
+			obs := make([][]sim.Time, doms)
+			recv := make([]int, doms)
+			for i, seq := range delays {
+				if len(seq) > 16 {
+					seq = seq[:16]
+				}
+				d := i % doms
+				env := sh.Domain(d)
+				env.Spawn("p", func(p *sim.Proc) {
+					for j, del := range seq {
+						p.Sleep(time.Duration(del) * time.Microsecond)
+						obs[d] = append(obs[d], p.Now())
+						if j%3 == 0 {
+							to := (d + 1) % doms
+							sh.Send(p.Env(), to,
+								time.Microsecond+time.Duration(del)*time.Nanosecond,
+								func() { recv[to]++ })
+						}
+					}
+				})
+			}
+			sh.Run(workers)
+			for _, o := range obs {
+				for k := 1; k < len(o); k++ {
+					if o[k] < o[k-1] {
+						return "", false
+					}
+				}
+			}
+			return fmt.Sprintf("%v %v %d %d", obs, recv, sh.Scheduled(), sh.Now()), true
+		}
+		ref, ok := run(1)
+		if !ok {
+			return false
+		}
+		for _, w := range []int{2, 4, runtime.NumCPU()} {
+			got, ok := run(w)
+			if !ok || got != ref {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }

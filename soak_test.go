@@ -12,12 +12,37 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/hw"
 	"repro/internal/molecule"
 	"repro/internal/sandbox"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
+
+// TestSoakShardedTenMillion pushes ~10^7 events through the sharded kernel
+// with one machine per domain — the configuration the scaling numbers come
+// from — and leans on ShardSoak's built-in invariants: zero lost
+// cross-machine messages, complete invocation counts, and monotone
+// per-shard clocks as observed at every cross-shard delivery.
+func TestSoakShardedTenMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^7-event sharded soak in -short mode")
+	}
+	const machines, invocations = 4, 2_150_000
+	res, err := bench.ShardSoak(bench.ShardSoakConfig{
+		Machines:    machines,
+		Invocations: invocations,
+		Shards:      machines,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events < 10_000_000 {
+		t.Fatalf("soak scheduled only %d events, want >= 10^7", res.Events)
+	}
+	t.Logf("%d events at %.0f events/sec across %d shards", res.Events, res.EventsPerSec, res.Shards)
+}
 
 func TestSoakRandomizedOperations(t *testing.T) {
 	const steps = 300
