@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson shards-race report report-md golden trace-demo examples clean
+.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson shards-race report report-md golden trace-demo attrib-demo examples clean
 
 all: check
 
@@ -90,6 +90,12 @@ golden:
 # plus its Prometheus metrics.
 trace-demo:
 	$(GO) run ./cmd/molecule-bench -trace trace-demo.json -metrics metrics-demo.txt
+
+# Critical-path attribution over the demo workload: the per-(fn, PU kind)
+# stage breakdown table to stdout plus a folded-stack profile
+# (attrib-demo.folded is flamegraph.pl / speedscope input, virtual time).
+attrib-demo:
+	$(GO) run ./cmd/molecule-bench -attrib - -profile attrib-demo.folded
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/sim/simbench"
 )
 
@@ -42,6 +43,26 @@ type expTiming struct {
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
+// writeOut renders into path ("-" = stdout).
+func writeOut(path string, render func(w io.Writer) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 // runObsDemo executes the quickstart workload with observability attached
 // and writes the requested exports.
 func runObsDemo(tracePath, metricsPath string) error {
@@ -49,31 +70,37 @@ func runObsDemo(tracePath, metricsPath string) error {
 	if err != nil {
 		return err
 	}
-	write := func(path string, render func(w io.Writer) error) error {
-		if path == "-" {
-			return render(os.Stdout)
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := render(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-		return nil
-	}
 	if tracePath != "" {
-		if err := write(tracePath, o.Tracer.WriteChromeTrace); err != nil {
+		if err := writeOut(tracePath, o.Tracer.WriteChromeTrace); err != nil {
 			return err
 		}
 	}
 	if metricsPath != "" {
-		if err := write(metricsPath, o.Metrics.WritePrometheus); err != nil {
+		if err := writeOut(metricsPath, o.Metrics.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAttribDemo executes the attribution demo workload and writes the
+// per-(fn, PU kind) critical-path breakdown and/or the virtual-time
+// folded-stack profile.
+func runAttribDemo(tablePath, foldedPath string) error {
+	_, an, err := bench.AttribDemo()
+	if err != nil {
+		return err
+	}
+	if tablePath != "" {
+		if err := writeOut(tablePath, func(w io.Writer) error {
+			an.BreakdownTable().Fprint(w)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if foldedPath != "" {
+		if err := writeOut(foldedPath, an.WriteFolded); err != nil {
 			return err
 		}
 	}
@@ -102,11 +129,32 @@ func soakShardCounts(machines int) []int {
 }
 
 func runShardSoak(path string, machines, inv int) error {
-	points, err := bench.ShardSoakSweep(machines, inv, soakShardCounts(machines))
+	counts := soakShardCounts(machines)
+	points, err := bench.ShardSoakSweep(machines, inv, counts)
 	if err != nil {
 		return err
 	}
 	bench.ShardSoakTable(points).Fprint(os.Stdout)
+
+	// Window telemetry rides a dedicated re-run of the widest point so the
+	// timed sweep stays observer-free; the fingerprint check proves the
+	// observed run is the same simulation the table reports.
+	if max := counts[len(counts)-1]; max > 1 {
+		wt := &obs.WindowTelemetry{}
+		tr, err := bench.ShardSoak(bench.ShardSoakConfig{
+			Machines: machines, Invocations: inv, Shards: max, Telemetry: wt,
+		})
+		if err != nil {
+			return err
+		}
+		if tr.Fingerprint != points[0].Fingerprint {
+			return fmt.Errorf("telemetry run diverged:\n  got  %s\n  want %s", tr.Fingerprint, points[0].Fingerprint)
+		}
+		if err := wt.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+
 	if path == "-" {
 		return nil
 	}
@@ -130,6 +178,8 @@ func main() {
 	jsonPath := flag.String("json", "", "with -timing: also run the kernel microbenchmarks and write a machine-readable snapshot to this `file`")
 	tracePath := flag.String("trace", "", "run the observability demo workload and write its Chrome trace JSON to this `file` (\"-\" = stdout), then exit")
 	metricsPath := flag.String("metrics", "", "run the observability demo workload and write its Prometheus metrics to this `file` (\"-\" = stdout), then exit")
+	attribPath := flag.String("attrib", "", "run the attribution demo workload and write the per-(fn, PU kind) critical-path breakdown to this `file` (\"-\" = stdout), then exit")
+	profilePath := flag.String("profile", "", "run the attribution demo workload and write a virtual-time folded-stack profile (flamegraph.pl input) to this `file` (\"-\" = stdout), then exit")
 	chaosSeed := flag.Uint64("chaos", 0, "run the seeded chaos soak demo (kill/revive + fault injection) and exit (0 = off)")
 	nipcPath := flag.String("nipc", "", "run the batched-nIPC sweep, print its tables, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
 	shards := flag.Int("shards", bench.SimShards(), "kernel workers per simulation: 0/1 = classic sequential kernel, N > 1 = sharded windowed driver with N OS workers (output is identical either way; default from MOLECULE_SHARDS)")
@@ -178,6 +228,14 @@ func main() {
 
 	if *tracePath != "" || *metricsPath != "" {
 		if err := runObsDemo(*tracePath, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *attribPath != "" || *profilePath != "" {
+		if err := runAttribDemo(*attribPath, *profilePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

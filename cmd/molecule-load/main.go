@@ -10,15 +10,37 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"repro/internal/hw"
 	"repro/internal/loadgen"
 	"repro/internal/molecule"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
+
+// write renders into path ("-" = stdout), the same convention as
+// molecule-bench -trace/-metrics.
+func write(path string, render func(*os.File) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := render(f); err != nil {
+		log.Fatal(err)
+	}
+	if path != "-" {
+		log.Printf("wrote %s", path)
+	}
+}
 
 func main() {
 	var (
@@ -30,13 +52,22 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		fns      = flag.String("functions", "matmul,pyaes,chameleon,image-resize,dd",
 			"comma-separated function population")
-		cfork = flag.Bool("cfork", true, "use cfork-based cold starts")
+		cfork   = flag.Bool("cfork", true, "use cfork-based cold starts")
+		trace   = flag.String("trace", "", "write the load run's span tree as Chrome trace_event JSON to `file` (\"-\" = stdout)")
+		metrics = flag.String("metrics", "", "write the load run's metrics as Prometheus text exposition to `file` (\"-\" = stdout)")
 	)
 	flag.Parse()
 
 	functions := strings.Split(*fns, ",")
 	env := sim.NewEnv()
 	machine := hw.Build(env, hw.Config{DPUs: *dpus})
+
+	// Observability rides the same path moleculed's -trace/-metrics use:
+	// one Observer on the runtime, exporters dumped after the run.
+	var o *obs.Observer
+	if *trace != "" || *metrics != "" {
+		o = obs.New(env)
+	}
 
 	env.Spawn("loadgen", func(p *sim.Proc) {
 		opts := molecule.DefaultOptions()
@@ -46,6 +77,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		rt.SetObserver(o) // nil-safe: detached unless -trace/-metrics given
 		for _, fn := range functions {
 			if err := rt.Deploy(p, fn,
 				molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); err != nil {
@@ -77,4 +109,11 @@ func main() {
 			len(machine.PUs()), rt.Capacity(), rt.LiveInstances())
 	})
 	env.Run()
+
+	if *trace != "" {
+		write(*trace, func(f *os.File) error { return o.Tracer.WriteChromeTrace(f) })
+	}
+	if *metrics != "" {
+		write(*metrics, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
+	}
 }

@@ -12,14 +12,39 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/httpd"
 	"repro/internal/hw"
 	"repro/internal/molecule"
+	"repro/internal/obs"
 )
+
+// parseSLO parses "dur[@target]" specs like "50ms@0.999" (target defaults
+// to 0.999).
+func parseSLO(spec string) (obs.SLOConfig, error) {
+	cfg := obs.SLOConfig{Target: 0.999}
+	durPart, targetPart, hasTarget := strings.Cut(spec, "@")
+	obj, err := time.ParseDuration(durPart)
+	if err != nil || obj <= 0 {
+		return cfg, fmt.Errorf("moleculed: bad -slo objective %q", durPart)
+	}
+	cfg.Objective = obj
+	if hasTarget {
+		t, err := strconv.ParseFloat(targetPart, 64)
+		if err != nil || t <= 0 || t > 1 {
+			return cfg, fmt.Errorf("moleculed: bad -slo target %q (want 0 < t <= 1)", targetPart)
+		}
+		cfg.Target = t
+	}
+	return cfg, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -29,6 +54,7 @@ func main() {
 	fnFile := flag.String("functions", "", "JSON file with custom function specs")
 	trace := flag.Bool("trace", false, "record invocation spans; GET /trace serves Chrome trace_event JSON")
 	metrics := flag.Bool("metrics", false, "record metrics; GET /metrics serves Prometheus text exposition")
+	slo := flag.String("slo", "", "default latency objective as `dur[@target]`, e.g. \"50ms@0.999\"; enables GET /slo and the slo_* metric families (implies observability)")
 	faultSpec := flag.String("fault", "", "fault plan `spec`, e.g. \"crash=1@2s+500ms,create-fail=0.01\" (see internal/faults)")
 	faultSeed := flag.Uint64("fault-seed", 1, "PRNG seed for probabilistic faults")
 	invokeTimeout := flag.Duration("invoke-timeout", 0, "per-attempt invocation timeout in virtual time (0 = no timeout)")
@@ -55,6 +81,14 @@ func main() {
 	if *trace || *metrics {
 		s.EnableObservability()
 		log.Printf("observability on: GET /metrics (Prometheus text), GET /trace (Chrome trace JSON)")
+	}
+	if *slo != "" {
+		cfg, err := parseSLO(*slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.EnableSLO(cfg)
+		log.Printf("slo engine on (default %v @ %.4g): GET /slo; per-deploy override via slo/slo_target", cfg.Objective, cfg.Target)
 	}
 	if *fnFile != "" {
 		data, err := os.ReadFile(*fnFile)

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+)
+
+// TestAttribDemoExactness runs the attribution demo workload — cold, warm,
+// DPU-pinned, FPGA- and GPU-pinned invokes plus chains — and enforces the
+// exactness invariant on every invocation: stages sum to the root span
+// duration to the nanosecond and nothing lands in the unclassified bucket.
+func TestAttribDemoExactness(t *testing.T) {
+	o, an, err := AttribDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Invocations) == 0 {
+		t.Fatal("demo attributed no invocations")
+	}
+	kinds := map[string]bool{}
+	for i := range an.Invocations {
+		inv := &an.Invocations[i]
+		if r := inv.Residue(); r != 0 {
+			t.Errorf("invocation %d (%s): residue %v — total %v vs stage sum %v",
+				inv.Root.ID, inv.Fn, r, inv.Total, inv.Stages.Sum())
+		}
+		if other := inv.Stages.Get(attrib.StageOther); other != 0 {
+			t.Errorf("invocation %d: %v charged to %q", inv.Root.ID, other, attrib.StageOther)
+		}
+		if inv.Kind != "" {
+			kinds[inv.Kind] = true
+		}
+	}
+	// The demo pins invokes onto all four PU kinds; attribution must see
+	// each of them.
+	for _, k := range []string{"CPU", "DPU", "FPGA", "GPU"} {
+		if !kinds[k] {
+			t.Errorf("no invocation attributed to PU kind %s", k)
+		}
+	}
+	if o.SLO == nil {
+		t.Fatal("demo observer has no SLO engine attached")
+	}
+	if sts := o.SLO.Status(); len(sts) == 0 {
+		t.Error("SLO engine recorded nothing")
+	}
+}
+
+// TestShardedAttribDemo locks the attribution outputs — the breakdown table,
+// the folded-stack profile, and the SLO JSON document — to identical bytes
+// at every kernel worker count. The analyzer iterates recorded span order
+// and fixed stage arrays, so one reordered nanosecond anywhere shows up.
+func TestShardedAttribDemo(t *testing.T) {
+	var refTable, refFolded, refSLO []byte
+	for _, n := range shardSweep() {
+		withShards(n, func() {
+			o, an, err := AttribDemo()
+			if err != nil {
+				t.Fatalf("shards=%d: %v", n, err)
+			}
+			var table, folded, slo bytes.Buffer
+			an.BreakdownTable().Fprint(&table)
+			if err := an.WriteFolded(&folded); err != nil {
+				t.Fatalf("shards=%d: %v", n, err)
+			}
+			if err := o.SLO.WriteJSON(&slo); err != nil {
+				t.Fatalf("shards=%d: %v", n, err)
+			}
+			if refTable == nil {
+				refTable, refFolded, refSLO = table.Bytes(), folded.Bytes(), slo.Bytes()
+				return
+			}
+			if !bytes.Equal(table.Bytes(), refTable) {
+				t.Fatalf("shards=%d: breakdown table diverges:\n%s\nvs\n%s", n, table.String(), refTable)
+			}
+			if !bytes.Equal(folded.Bytes(), refFolded) {
+				t.Fatalf("shards=%d: folded profile diverges:\n%s\nvs\n%s", n, folded.String(), refFolded)
+			}
+			if !bytes.Equal(slo.Bytes(), refSLO) {
+				t.Fatalf("shards=%d: SLO JSON diverges:\n%s\nvs\n%s", n, slo.String(), refSLO)
+			}
+		})
+	}
+}
+
+// TestShardSoakTelemetry pins the soak's window telemetry: at a fixed
+// partitioning the per-round counters render to identical bytes at every
+// worker count, and attaching the observer leaves the simulation fingerprint
+// untouched.
+func TestShardSoakTelemetry(t *testing.T) {
+	const machines, invocations, shards = 4, 800, 4
+	plain, err := ShardSoak(ShardSoakConfig{Machines: machines, Invocations: invocations, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []byte
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		wt := &obs.WindowTelemetry{}
+		res, err := ShardSoak(ShardSoakConfig{
+			Machines: machines, Invocations: invocations,
+			Shards: shards, Workers: workers, Telemetry: wt,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Fingerprint != plain.Fingerprint {
+			t.Fatalf("workers=%d: telemetry changed the fingerprint\n got  %s\n want %s",
+				workers, res.Fingerprint, plain.Fingerprint)
+		}
+		if wt.Rounds() == 0 {
+			t.Fatalf("workers=%d: soak reported no windowed rounds", workers)
+		}
+		var buf bytes.Buffer
+		if err := wt.WriteText(&buf); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), ref) {
+			t.Fatalf("workers=%d: telemetry diverges:\n%s\nvs\n%s", workers, buf.String(), ref)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+	"repro/internal/sim"
+)
+
+// AttribDemo runs the critical-path attribution demo: a workload that
+// exercises every stage of the latency taxonomy — cold and warm CPU hits,
+// a DPU-pinned cold start (nIPC cross-link commands), FPGA image extension
+// and GPU kernel loading, and a cross-PU chain — with observability and an
+// SLO engine attached, then attributes the resulting span tree. It returns
+// the populated observer (tracer, metrics, SLO) and the analysis. The
+// regular experiments never attach an observer, so their golden report
+// bytes are unaffected.
+func AttribDemo() (*obs.Observer, *attrib.Analysis, error) {
+	var (
+		o       *obs.Observer
+		machine *hw.Machine
+		demoErr error
+	)
+	sandboxed(func(p *sim.Proc) {
+		rt := newMolecule(p, hw.Config{DPUs: 1, FPGAs: 1, GPUs: 1}, molecule.DefaultOptions())
+		machine = rt.Machine
+		o = obs.New(p.Env())
+		o.SLO = obs.NewSLOEngine(obs.SLOConfig{Objective: 10 * time.Millisecond, Target: 0.99})
+		rt.SetObserver(o)
+
+		if demoErr = rt.Deploy(p, "helloworld",
+			molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); demoErr != nil {
+			return
+		}
+		// Cold start on the host, then a warm hit on the same instance.
+		if _, demoErr = rt.Invoke(p, "helloworld", molecule.DefaultInvokeOptions()); demoErr != nil {
+			return
+		}
+		if _, demoErr = rt.Invoke(p, "helloworld", molecule.DefaultInvokeOptions()); demoErr != nil {
+			return
+		}
+		// A DPU-pinned cold start routes executor commands over the
+		// interconnect, filling the nipc.crosslink stage.
+		dpu := rt.Machine.PUsOfKind(hw.DPU)[0].ID
+		if _, demoErr = rt.Invoke(p, "helloworld", molecule.InvokeOptions{PU: dpu}); demoErr != nil {
+			return
+		}
+		// Accelerator cold starts: FPGA partial-reconfiguration image
+		// extension and GPU kernel loading both land in coldstart.init.
+		if demoErr = rt.Deploy(p, "mscale",
+			molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU),
+			molecule.DefaultProfile(hw.FPGA), molecule.DefaultProfile(hw.GPU)); demoErr != nil {
+			return
+		}
+		fpga := rt.Machine.PUsOfKind(hw.FPGA)[0].ID
+		gpu := rt.Machine.PUsOfKind(hw.GPU)[0].ID
+		if _, demoErr = rt.Invoke(p, "mscale", molecule.InvokeOptions{PU: fpga}); demoErr != nil {
+			return
+		}
+		if _, demoErr = rt.Invoke(p, "mscale", molecule.InvokeOptions{PU: gpu}); demoErr != nil {
+			return
+		}
+		// A chain scattered across host and DPU drives request/response
+		// payloads through XPU-FIFOs.
+		pair := []string{"alexa-frontend", "alexa-interact"}
+		for _, fn := range pair {
+			if demoErr = rt.Deploy(p, fn,
+				molecule.DefaultProfile(hw.CPU), molecule.DefaultProfile(hw.DPU)); demoErr != nil {
+				return
+			}
+		}
+		if _, demoErr = rt.InvokeChain(p, pair, molecule.ChainOptions{Placement: []hw.PUID{0, dpu}}); demoErr != nil {
+			return
+		}
+	})
+	if demoErr != nil {
+		return nil, nil, fmt.Errorf("bench: attribution demo: %w", demoErr)
+	}
+	an := attrib.Analyze(o.Tracer.Spans(), attrib.Options{PUKind: func(pu int) string {
+		if u := machine.PU(hw.PUID(pu)); u != nil {
+			return u.Kind.String()
+		}
+		return ""
+	}})
+	return o, an, nil
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -46,6 +47,12 @@ type ShardSoakConfig struct {
 	Invocations int // invocations per machine
 	Shards      int // event-heap domains; machines are dealt round-robin
 	Workers     int // OS workers driving the domains; 0 = Shards
+
+	// Telemetry, when non-nil, is attached as the kernel's window observer
+	// and accumulates round/stall/flow counters over the run. Attach it to
+	// a dedicated run, not the timed sweep points — observation is cheap
+	// but not free, and BENCH_sim.json throughput should stay clean.
+	Telemetry *obs.WindowTelemetry
 }
 
 // ShardSoakResult is one sweep point, serialized into BENCH_sim.json.
@@ -89,6 +96,9 @@ func ShardSoak(cfg ShardSoakConfig) (ShardSoakResult, error) {
 	link := hw.Link{Kind: hw.LinkNetwork, BaseLat: 4000 * q} // ≡ 0 (mod q)
 
 	sh := sim.NewSharded(cfg.Shards)
+	if cfg.Telemetry != nil {
+		sh.SetWindowObserver(cfg.Telemetry)
+	}
 	ic := hw.NewInterconnect(sh, link)
 	dom := func(machine int) int { return machine % cfg.Shards }
 

@@ -75,6 +75,25 @@ func (s *Server) EnableObservability() *obs.Observer {
 	return o
 }
 
+// EnableSLO attaches a latency-objective engine (default objective def) to
+// the server's observer, enabling observability first if needed. GET /slo
+// serves the engine's scored state; /metrics gains the slo_* gauge
+// families. Deploys may override the default per function with the
+// slo/slo_target form values.
+func (s *Server) EnableSLO(def obs.SLOConfig) *obs.SLOEngine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.rt.Observer()
+	if o == nil {
+		o = obs.New(s.env)
+		s.rt.SetObserver(o)
+	}
+	if o.SLO == nil {
+		o.SLO = obs.NewSLOEngine(def)
+	}
+	return o.SLO
+}
+
 // LoadFunctions registers custom JSON-defined workloads (see
 // workloads.FunctionSpec).
 func (s *Server) LoadFunctions(data []byte) error {
@@ -104,6 +123,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /experiments/{id}", s.handleRunExperiment)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /slo", s.handleSLO)
 	return mux
 }
 
@@ -117,8 +137,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "observability disabled", http.StatusNotFound)
 		return
 	}
+	o.SLO.Export(o.Metrics) // nil-safe; mirrors SLO state into slo_* gauges
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	o.Metrics.WritePrometheus(w)
+}
+
+// handleSLO serves the latency-objective engine's scored state as JSON:
+// per-function attainment, error-budget burn, and sketch quantiles. 404
+// until EnableSLO is called.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.rt.Observer()
+	if o == nil || o.SLO == nil {
+		http.Error(w, "slo engine disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.SLO.WriteJSON(w)
 }
 
 // handleTrace serves the recorded span tree as Chrome trace_event JSON
@@ -180,11 +216,43 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	var sloCfg *obs.SLOConfig
+	if v := r.FormValue("slo"); v != "" {
+		obj, err := time.ParseDuration(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("httpd: bad slo %q: %w", v, err))
+			return
+		}
+		cfg := obs.SLOConfig{Objective: obj, Target: 0.999}
+		if tv := r.FormValue("slo_target"); tv != "" {
+			t, err := strconv.ParseFloat(tv, 64)
+			if err != nil || t <= 0 || t > 1 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("httpd: bad slo_target %q", tv))
+				return
+			}
+			cfg.Target = t
+		}
+		s.mu.Lock()
+		o := s.rt.Observer()
+		s.mu.Unlock()
+		if o == nil || o.SLO == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("httpd: slo engine disabled (EnableSLO / moleculed -slo)"))
+			return
+		}
+		sloCfg = &cfg
+	}
 	var depErr error
 	s.drive(func(p *sim.Proc) { depErr = s.rt.Deploy(p, fn, profiles...) })
 	if depErr != nil {
 		writeErr(w, http.StatusBadRequest, depErr)
 		return
+	}
+	if sloCfg != nil {
+		s.mu.Lock()
+		if o := s.rt.Observer(); o != nil {
+			o.SLO.SetObjective(fn, *sloCfg)
+		}
+		s.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deployed": fn, "profiles": r.FormValue("profiles")})
 }

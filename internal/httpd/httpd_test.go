@@ -8,9 +8,11 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/hw"
 	"repro/internal/molecule"
+	"repro/internal/obs"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -241,6 +243,94 @@ func TestMetricsDisabledBy404(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("%s without observability: %d, want 404", path, resp.StatusCode)
 		}
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	s, err := NewServer(hw.Config{DPUs: 1, FPGAs: 1}, molecule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableSLO(obs.SLOConfig{Objective: 50 * time.Millisecond, Target: 0.99})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Deploy with a per-function objective override, then record two invokes.
+	code, body := post(t, ts, "/deploy", url.Values{
+		"fn": {"helloworld"}, "slo": {"5ms"}, "slo_target": {"0.9"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("deploy: %d %v", code, body)
+	}
+	post(t, ts, "/invoke", url.Values{"fn": {"helloworld"}}) // cold: blows the 5ms objective
+	post(t, ts, "/invoke", url.Values{"fn": {"helloworld"}}) // warm
+
+	code, slo := get(t, ts, "/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo: %d %v", code, slo)
+	}
+	def := slo["default"].(map[string]any)
+	if def["objective_ms"].(float64) != 50 || def["target"].(float64) != 0.99 {
+		t.Errorf("default objective = %v", def)
+	}
+	fns := slo["functions"].([]any)
+	if len(fns) != 1 {
+		t.Fatalf("functions = %v, want 1 entry", fns)
+	}
+	st := fns[0].(map[string]any)
+	if st["fn"] != "helloworld" || st["objective_ms"].(float64) != 5 || st["target"].(float64) != 0.9 {
+		t.Errorf("scored objective = %v", st)
+	}
+	if st["requests"].(float64) != 2 {
+		t.Errorf("requests = %v, want 2", st["requests"])
+	}
+	if st["p99_ms"].(float64) <= 0 || st["max_ms"].(float64) <= 0 {
+		t.Errorf("quantiles missing: %v", st)
+	}
+
+	// /metrics mirrors the scored state as slo_* gauges.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE slo_requests gauge",
+		`slo_requests{fn="helloworld"} 2`,
+		`slo_attainment_ratio{fn="helloworld"}`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Malformed SLO parameters are rejected before deploying.
+	for _, form := range []url.Values{
+		{"fn": {"matmul"}, "slo": {"fast"}},
+		{"fn": {"matmul"}, "slo": {"5ms"}, "slo_target": {"2"}},
+		{"fn": {"matmul"}, "slo": {"5ms"}, "slo_target": {"0"}},
+	} {
+		if code, _ := post(t, ts, "/deploy", form); code != http.StatusBadRequest {
+			t.Errorf("deploy %v returned %d, want 400", form, code)
+		}
+	}
+}
+
+func TestSLODisabled(t *testing.T) {
+	ts := newTestServer(t) // no EnableSLO
+	resp, err := http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/slo without engine: %d, want 404", resp.StatusCode)
+	}
+	// A deploy asking for an objective with no engine attached is an error,
+	// not a silent drop.
+	if code, _ := post(t, ts, "/deploy", url.Values{"fn": {"matmul"}, "slo": {"5ms"}}); code != http.StatusBadRequest {
+		t.Errorf("deploy with slo on disabled engine: %d, want 400", code)
 	}
 }
 

@@ -54,10 +54,12 @@ var Table = map[string]Layer{
 	"obs":          {Level: 1, Report: true},
 	"sim/simbench": {Level: 1, Sim: true},
 
-	// Level 2: single-PU operating pieces and the fault plan.
-	"localos": {Level: 2, Sim: true, Deny: baseDeny},
-	"storage": {Level: 2, Sim: true},
-	"faults":  {Level: 2, Sim: true},
+	// Level 2: single-PU operating pieces, the fault plan, and the post-hoc
+	// span analyzer (imports obs + metrics; produces report tables).
+	"localos":    {Level: 2, Sim: true, Deny: baseDeny},
+	"storage":    {Level: 2, Sim: true},
+	"faults":     {Level: 2, Sim: true},
+	"obs/attrib": {Level: 2, Report: true},
 
 	// Level 3: the distributed shim and language runtimes.
 	"xpu":  {Level: 3, Sim: true, Deny: baseDeny},

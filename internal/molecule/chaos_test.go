@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/obs"
+	"repro/internal/obs/attrib"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -57,6 +58,10 @@ func runChaos(t *testing.T, seed uint64) chaosSummary {
 	var sum chaosSummary
 	var rt *Runtime
 	var o *obs.Observer
+	// settled records, per settle instant, the Result.Total of every
+	// successful invoke — the caller-visible latencies the attribution pass
+	// must reproduce from the span tree alone.
+	settled := make(map[sim.Time][]time.Duration)
 	env.Spawn("chaos-driver", func(p *sim.Proc) {
 		var err error
 		rt, err = New(p, m, reg, opts)
@@ -100,10 +105,11 @@ func runChaos(t *testing.T, seed uint64) chaosSummary {
 					wp.Sleep(time.Duration(wrng.Intn(4000)) * time.Microsecond)
 					pin := targets[wrng.Intn(len(targets))]
 					sum.submitted++
-					if _, err := rt.Invoke(wp, "pyaes", InvokeOptions{PU: pin}); err != nil {
+					if res, err := rt.Invoke(wp, "pyaes", InvokeOptions{PU: pin}); err != nil {
 						sum.failed++
 					} else {
 						sum.succeeded++
+						settled[wp.Now()] = append(settled[wp.Now()], res.Total)
 					}
 				}
 			})
@@ -147,6 +153,67 @@ func runChaos(t *testing.T, seed uint64) chaosSummary {
 	}
 	if sum.injected == 0 {
 		t.Error("soak injected no faults")
+	}
+
+	// Invariant 3: attribution exactness. Every settled invocation's stage
+	// decomposition must sum to its root span duration to the nanosecond —
+	// including invocations whose abandoned timed-out attempts kept running
+	// in the background, overlapping the backoff and retry spans that
+	// followed — and the winning attempt's duration must be exactly the
+	// Result.Total the caller saw.
+	an := attrib.Analyze(o.Tracer.Spans(), attrib.Options{
+		PUKind: func(pu int) string {
+			if u := m.PU(hw.PUID(pu)); u != nil {
+				return u.Kind.String()
+			}
+			return ""
+		},
+	})
+	if got := len(an.Invocations); got != sum.submitted {
+		t.Errorf("attributed %d invocations, want %d", got, sum.submitted)
+	}
+	var attribErrs int
+	var backoffTime time.Duration
+	for i := range an.Invocations {
+		inv := &an.Invocations[i]
+		if r := inv.Residue(); r != 0 {
+			t.Errorf("invocation %d (%s): residue %v — total %v vs stage sum %v",
+				inv.Root.ID, inv.Fn, r, inv.Total, inv.Stages.Sum())
+		}
+		if other := inv.Stages.Get(attrib.StageOther); other != 0 {
+			t.Errorf("invocation %d: %v charged to %q — unclassified span in the tree",
+				inv.Root.ID, other, attrib.StageOther)
+		}
+		backoffTime += inv.Stages.Get(attrib.StageRetryBackoff)
+		if inv.Err {
+			attribErrs++
+			continue
+		}
+		winDur := time.Duration(inv.Win.End.Sub(inv.Win.Start))
+		matched := false
+		list := settled[inv.Root.End]
+		for j, d := range list {
+			if d == winDur {
+				settled[inv.Root.End] = append(list[:j], list[j+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("invocation %d: winning-attempt duration %v matches no Result.Total settled at t=%d",
+				inv.Root.ID, winDur, inv.Root.End)
+		}
+	}
+	if attribErrs != sum.failed {
+		t.Errorf("attribution saw %d errored invocations, summary says %d failed", attribErrs, sum.failed)
+	}
+	for at, rest := range settled {
+		if len(rest) > 0 {
+			t.Errorf("%d settled Result.Totals at t=%d never matched a winning attempt", len(rest), at)
+		}
+	}
+	if sum.retries > 0 && backoffTime == 0 {
+		t.Error("retries occurred but no invocation shows retry.backoff time")
 	}
 	return sum
 }

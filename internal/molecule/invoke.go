@@ -217,6 +217,7 @@ func (rt *Runtime) recordInvocation(fn string, pu *hw.PU, res Result) {
 	pl := puLabel(pu.ID)
 	o.Counter("molecule_invocations_total", obs.L("fn", fn), pl, obs.L("kind", pu.Kind.String())).Inc()
 	o.Histogram("molecule_invoke_latency_seconds", pl).Observe(res.Total)
+	o.RecordSLO(fn, res.Total)
 }
 
 // acquire returns a ready instance: a warm-pool hit, or a cold start via

@@ -85,7 +85,9 @@ func (rt *Runtime) invokeWithRecovery(p *sim.Proc, d *Deployment, opts InvokeOpt
 			if o := rt.obs; o != nil {
 				o.Counter("molecule_invoke_retries_total", obs.L("fn", d.Fn.Name)).Inc()
 			}
+			bs := rt.obs.Span(root, "retry.backoff", int(rt.hostID))
 			p.Sleep(backoff)
+			bs.Finish()
 			backoff *= 2
 			if attemptOpts.PU >= 0 && infrastructureError(lastErr) {
 				// Failover: drop the pin and let placeGeneral's

@@ -1,0 +1,278 @@
+package attrib
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// buildSpans runs body as a simulated process with a fresh tracer and
+// returns the recorded span snapshot. Virtual time starts at 0 and only
+// advances through p.Sleep, so every span edge is exact.
+func buildSpans(t *testing.T, body func(p *sim.Proc, tr *obs.Tracer)) []obs.Span {
+	t.Helper()
+	env := sim.NewEnv()
+	tr := obs.NewTracer(env)
+	env.Spawn("span-builder", func(p *sim.Proc) { body(p, tr) })
+	env.Run()
+	return tr.Spans()
+}
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// TestPlainInvokeExact pins the decomposition of a single cold invoke: the
+// root's self-time is dispatch, acquire's self-time and sandbox.start are
+// cold-start init, sandbox.create is the fork, and the handler is itself.
+func TestPlainInvokeExact(t *testing.T) {
+	spans := buildSpans(t, func(p *sim.Proc, tr *obs.Tracer) {
+		root := tr.Start(nil, "invoke", 0)
+		root.SetAttr("fn", "f")
+		p.Sleep(ms(1)) // dispatch head
+		acq := tr.Start(root, "sandbox.acquire", -1)
+		pl := tr.Start(acq, "placement", -1)
+		pl.Finish()    // zero-width: placement takes no virtual time here
+		p.Sleep(ms(1)) // acquire self (init bookkeeping)
+		cs := tr.Start(acq, "sandbox.create", 0)
+		p.Sleep(ms(2))
+		cs.Finish()
+		ss := tr.Start(acq, "sandbox.start", 0)
+		p.Sleep(ms(3))
+		ss.Finish()
+		acq.Finish()
+		hs := tr.Start(root, "handler", 0)
+		p.Sleep(ms(4))
+		hs.Finish()
+		p.Sleep(ms(1)) // dispatch tail
+		root.SetAttr("pu", "0")
+		root.Finish()
+	})
+
+	a := Analyze(spans, Options{PUKind: func(pu int) string { return "CPU" }})
+	if len(a.Invocations) != 1 {
+		t.Fatalf("got %d invocations, want 1", len(a.Invocations))
+	}
+	inv := a.Invocations[0]
+	if inv.Fn != "f" || inv.PU != 0 || inv.Kind != "CPU" || inv.Err {
+		t.Fatalf("identity = {fn %q pu %d kind %q err %v}", inv.Fn, inv.PU, inv.Kind, inv.Err)
+	}
+	if inv.Total != ms(12) {
+		t.Fatalf("total = %v, want 12ms", inv.Total)
+	}
+	if r := inv.Residue(); r != 0 {
+		t.Fatalf("residue = %v, want 0", r)
+	}
+	want := map[Stage]time.Duration{
+		StageDispatch: ms(2), // root self: 1ms head + 1ms tail
+		StageColdFork: ms(2), // sandbox.create
+		StageColdInit: ms(4), // acquire self 1ms + sandbox.start 3ms
+		StageHandler:  ms(4),
+	}
+	for _, st := range AllStages() {
+		if got := inv.Stages.Get(st); got != want[st] {
+			t.Errorf("stage %s = %v, want %v", st, got, want[st])
+		}
+	}
+}
+
+// TestRetryOverlapExact pins the preemption rule under recovery: a timed-out
+// attempt's span is still open (abandoned, running in the background) when
+// the backoff and the retry begin; the sweep charges it only up to the
+// instant its successor starts, so the decomposition stays exact.
+func TestRetryOverlapExact(t *testing.T) {
+	spans := buildSpans(t, func(p *sim.Proc, tr *obs.Tracer) {
+		root := tr.Start(nil, "invoke.recover", 0)
+		root.SetAttr("fn", "f")
+		a1 := tr.Start(root, "invoke", 0)
+		a1.SetAttr("fn", "f")
+		a1.SetAttr("error", "timeout") // abandoned attempt, never finished
+		_ = a1
+		p.Sleep(ms(10))
+		bs := tr.Start(root, "retry.backoff", 0)
+		p.Sleep(ms(2))
+		bs.Finish()
+		a2 := tr.Start(root, "invoke", 0)
+		a2.SetAttr("fn", "f")
+		h := tr.Start(a2, "handler", 1)
+		p.Sleep(ms(7))
+		h.Finish()
+		p.Sleep(ms(1))
+		a2.Finish()
+		root.SetAttr("pu", "1")
+		root.SetAttr("retries", "1")
+		root.Finish()
+	})
+
+	a := Analyze(spans, Options{})
+	if len(a.Invocations) != 1 {
+		t.Fatalf("got %d invocations, want 1", len(a.Invocations))
+	}
+	inv := a.Invocations[0]
+	if inv.Err {
+		t.Fatalf("invocation marked failed; abandoned attempt's error attr leaked into identity")
+	}
+	if inv.PU != 1 {
+		t.Fatalf("pu = %d, want 1 (from the settled recover root)", inv.PU)
+	}
+	if r := inv.Residue(); r != 0 {
+		t.Fatalf("residue = %v, want 0", r)
+	}
+	if inv.Total != ms(20) {
+		t.Fatalf("total = %v, want 20ms", inv.Total)
+	}
+	// Attempt 1 owns [0, 10ms) (clipped by the backoff), the backoff owns
+	// [10, 12), attempt 2 owns [12, 20).
+	want := map[Stage]time.Duration{
+		StageDispatch:     ms(11), // a1 self 10ms + a2 self 1ms
+		StageRetryBackoff: ms(2),
+		StageHandler:      ms(7),
+	}
+	for _, st := range AllStages() {
+		if got := inv.Stages.Get(st); got != want[st] {
+			t.Errorf("stage %s = %v, want %v", st, got, want[st])
+		}
+	}
+	// The winning attempt is the settled invoke that closes the root.
+	if inv.Win.Name != "invoke" || inv.Win.End != inv.Root.End {
+		t.Fatalf("win = %s ending %v, want the invoke closing the root at %v",
+			inv.Win.Name, inv.Win.End, inv.Root.End)
+	}
+	if inv.Win.ID == inv.Root.ID {
+		t.Fatalf("win fell back to the root; the settled attempt was not found")
+	}
+}
+
+// TestGatewayQueueWait pins gateway self-time landing in queue.wait and the
+// identity coming from the nested invoke span.
+func TestGatewayQueueWait(t *testing.T) {
+	spans := buildSpans(t, func(p *sim.Proc, tr *obs.Tracer) {
+		g := tr.Start(nil, "gateway.request", -1)
+		g.SetAttr("fn", "f")
+		p.Sleep(ms(3)) // queued
+		in := tr.Start(g, "invoke", 0)
+		in.SetAttr("fn", "f")
+		in.SetAttr("pu", "2")
+		p.Sleep(ms(5))
+		in.Finish()
+		g.Finish()
+	})
+
+	a := Analyze(spans, Options{})
+	if len(a.Invocations) != 1 {
+		t.Fatalf("got %d invocations, want 1", len(a.Invocations))
+	}
+	inv := a.Invocations[0]
+	if inv.Fn != "f" || inv.PU != 2 {
+		t.Fatalf("identity = {fn %q pu %d}", inv.Fn, inv.PU)
+	}
+	if got := inv.Stages.Get(StageQueueWait); got != ms(3) {
+		t.Fatalf("queue.wait = %v, want 3ms", got)
+	}
+	if got := inv.Stages.Get(StageDispatch); got != ms(5) {
+		t.Fatalf("dispatch = %v, want 5ms", got)
+	}
+	if r := inv.Residue(); r != 0 {
+		t.Fatalf("residue = %v, want 0", r)
+	}
+}
+
+// TestOpenRootSkipped: an in-flight invocation cannot be decomposed exactly
+// and must be skipped, not misattributed.
+func TestOpenRootSkipped(t *testing.T) {
+	spans := buildSpans(t, func(p *sim.Proc, tr *obs.Tracer) {
+		root := tr.Start(nil, "invoke", 0)
+		root.SetAttr("fn", "f")
+		p.Sleep(ms(5))
+		// never finished
+	})
+	a := Analyze(spans, Options{})
+	if len(a.Invocations) != 0 {
+		t.Fatalf("got %d invocations from an open root, want 0", len(a.Invocations))
+	}
+}
+
+// TestUnknownSpanLandsInOther: a span name outside the taxonomy must surface
+// as StageOther, never silently vanish.
+func TestUnknownSpanLandsInOther(t *testing.T) {
+	spans := buildSpans(t, func(p *sim.Proc, tr *obs.Tracer) {
+		root := tr.Start(nil, "invoke", 0)
+		root.SetAttr("fn", "f")
+		x := tr.Start(root, "mystery.stage", -1)
+		p.Sleep(ms(4))
+		x.Finish()
+		root.Finish()
+	})
+	a := Analyze(spans, Options{})
+	if len(a.Invocations) != 1 {
+		t.Fatalf("got %d invocations, want 1", len(a.Invocations))
+	}
+	inv := a.Invocations[0]
+	if got := inv.Stages.Get(StageOther); got != ms(4) {
+		t.Fatalf("other = %v, want 4ms", got)
+	}
+	if r := inv.Residue(); r != 0 {
+		t.Fatalf("residue = %v, want 0", r)
+	}
+}
+
+// TestFoldedDeterministic pins the folded-profile bytes: sorted paths,
+// fn-prefixed stacks, self-time in virtual nanoseconds.
+func TestFoldedDeterministic(t *testing.T) {
+	build := func() []obs.Span {
+		return buildSpans(t, func(p *sim.Proc, tr *obs.Tracer) {
+			root := tr.Start(nil, "invoke", 0)
+			root.SetAttr("fn", "f")
+			p.Sleep(ms(1))
+			h := tr.Start(root, "handler", 0)
+			p.Sleep(ms(2))
+			h.Finish()
+			root.Finish()
+		})
+	}
+	var b1, b2 bytes.Buffer
+	if err := Analyze(build(), Options{}).WriteFolded(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Analyze(build(), Options{}).WriteFolded(&b2); err != nil {
+		t.Fatal(err)
+	}
+	want := "f;invoke 1000000\nf;invoke;handler 2000000\n"
+	if b1.String() != want {
+		t.Fatalf("folded =\n%q\nwant\n%q", b1.String(), want)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("folded output differs across identical runs")
+	}
+}
+
+// TestRowsAggregate pins the per-(fn, kind) grouping and ordering.
+func TestRowsAggregate(t *testing.T) {
+	spans := buildSpans(t, func(p *sim.Proc, tr *obs.Tracer) {
+		for i, fn := range []string{"b", "a", "a"} {
+			root := tr.Start(nil, "invoke", 0)
+			root.SetAttr("fn", fn)
+			root.SetAttr("pu", "0")
+			if i == 2 {
+				root.SetAttr("error", "boom")
+			}
+			p.Sleep(ms(1 + i))
+			root.Finish()
+		}
+	})
+	a := Analyze(spans, Options{PUKind: func(pu int) string { return "CPU" }})
+	rows := a.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Fn != "a" || rows[1].Fn != "b" {
+		t.Fatalf("rows unsorted: %q then %q", rows[0].Fn, rows[1].Fn)
+	}
+	if rows[0].Count != 2 || rows[0].Errors != 1 {
+		t.Fatalf("row a = {n %d err %d}, want {2 1}", rows[0].Count, rows[0].Errors)
+	}
+	if rows[0].Total != ms(2)+ms(3) {
+		t.Fatalf("row a total = %v, want 5ms", rows[0].Total)
+	}
+}

@@ -31,6 +31,10 @@ import "repro/internal/sim"
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+
+	// SLO is the optional latency-objective engine. Nil means no objectives
+	// are tracked; RecordSLO then no-ops even on an enabled Observer.
+	SLO *SLOEngine
 }
 
 // New returns an enabled Observer recording in env's virtual time.
@@ -104,4 +108,16 @@ func (o *Observer) HistogramSet(ls LabelSet) *Histogram {
 		return nil
 	}
 	return o.Metrics.HistogramSet(ls)
+}
+
+// RecordSLO feeds one settled invocation's end-to-end latency into the SLO
+// engine, if one is attached. Nil-safe on both the Observer and the engine —
+// the detached fast path is two nil checks.
+//
+//molecule:hotpath
+func (o *Observer) RecordSLO(fn string, d sim.Duration) {
+	if o == nil || o.SLO == nil {
+		return
+	}
+	o.SLO.Record(fn, d)
 }

@@ -64,6 +64,21 @@ func TestNilFastPathAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("nil-observer span path allocates %v per op, want 0", allocs)
 	}
+	// The obs v2 types keep the same contract: detached SLO recording and
+	// window observation must stay allocation-free.
+	var sk *Sketch
+	var e *SLOEngine
+	var wt *WindowTelemetry
+	ws := sim.WindowStats{}
+	allocs = testing.AllocsPerRun(100, func() {
+		o.RecordSLO("f", time.Millisecond)
+		sk.Observe(time.Millisecond)
+		e.Record("f", time.Millisecond)
+		wt.WindowRound(ws)
+	})
+	if allocs != 0 {
+		t.Errorf("nil obs v2 fast paths allocate %v per op, want 0", allocs)
+	}
 }
 
 // TestInternedLabelSet pins the interned lookup contract: a LabelSet
@@ -279,6 +294,97 @@ func TestPrometheusExposition(t *testing.T) {
 	r.WritePrometheus(&buf2)
 	if buf.String() != buf2.String() {
 		t.Error("exposition is not deterministic")
+	}
+}
+
+// TestPrometheusBucketBoundaries is the regression test for two
+// boundary bugs: observations exactly on a bucket's upper bound must land
+// in that bucket (inclusive le semantics), and the series sort key must
+// strip only the real le pair — a label whose key merely ends in "le"
+// (role="edge" contains the bytes le=") used to derail bucket ordering.
+func TestPrometheusBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_latency_seconds", L("role", "edge"))
+	h.Observe(time.Millisecond)                 // exactly le=0.001
+	h.Observe(2500 * time.Microsecond)          // exactly le=0.0025
+	h.Observe(10 * time.Second)                 // exactly the last finite bucket
+	h.Observe(10*time.Second + time.Nanosecond) // past every bound: +Inf
+	r.Histogram("edge_latency_seconds", L("role", "core")).Observe(time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Inclusive edges and cumulative counts.
+	for _, want := range []string{
+		`edge_latency_seconds_bucket{role="edge",le="0.001"} 1`,
+		`edge_latency_seconds_bucket{role="edge",le="0.0025"} 2`,
+		`edge_latency_seconds_bucket{role="edge",le="0.005"} 2`,
+		`edge_latency_seconds_bucket{role="edge",le="10"} 3`,
+		`edge_latency_seconds_bucket{role="edge",le="+Inf"} 4`,
+		`edge_latency_seconds_count{role="edge"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must appear in ascending-le order — lexical sorting of le
+	// strings would put +Inf first and 1e-06 last.
+	order := []string{
+		`{role="edge",le="1e-06"}`,
+		`{role="edge",le="0.001"}`,
+		`{role="edge",le="10"}`,
+		`{role="edge",le="+Inf"}`,
+	}
+	prev := -1
+	for _, marker := range order {
+		i := strings.Index(out, marker)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", marker, out)
+		}
+		if i < prev {
+			t.Fatalf("bucket %q out of ascending-le order:\n%s", marker, out)
+		}
+		prev = i
+	}
+	// Cross-series ordering: the whole role="core" block sorts before
+	// role="edge".
+	if strings.Index(out, `{role="core",le="+Inf"}`) > strings.Index(out, `{role="edge",le="1e-06"}`) {
+		t.Errorf("series not sorted by label set:\n%s", out)
+	}
+
+	// Quantiles on exact bucket edges return the edge, not the next bucket.
+	if got := h.Quantile(0.25); got != time.Millisecond {
+		t.Errorf("Quantile(0.25) = %v, want 1ms", got)
+	}
+	if got := h.Quantile(0.5); got != 2500*time.Microsecond {
+		t.Errorf("Quantile(0.5) = %v, want 2.5ms", got)
+	}
+	if got := h.Quantile(0.75); got != 10*time.Second {
+		t.Errorf("Quantile(0.75) = %v, want 10s", got)
+	}
+	// The +Inf bucket answers with the observed maximum, not infinity.
+	if got := h.Quantile(1); got != 10*time.Second+time.Nanosecond {
+		t.Errorf("Quantile(1) = %v, want the exact max", got)
+	}
+	if got := h.Max(); got != 10*time.Second+time.Nanosecond {
+		t.Errorf("Max() = %v", got)
+	}
+	// A histogram whose observations all sit on one edge answers that edge
+	// for every quantile.
+	edge := r.Histogram("one_edge_seconds")
+	for i := 0; i < 3; i++ {
+		edge.Observe(time.Millisecond)
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := edge.Quantile(q); got != time.Millisecond {
+			t.Errorf("one-edge Quantile(%v) = %v, want 1ms", q, got)
+		}
+	}
+	var nilHist *Histogram
+	if nilHist.Quantile(0.5) != 0 || nilHist.Max() != 0 {
+		t.Error("nil histogram quantile/max not inert")
 	}
 }
 

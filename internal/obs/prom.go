@@ -118,12 +118,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // block with any le="..." pair stripped (one histogram's buckets stay
 // adjacent, in insertion order), secondary is the series name so _bucket,
 // _count, and _sum group predictably.
+//
+// The le match must sit on a label-key boundary ('{' or ','). A raw
+// substring search also matches *inside* a label whose key merely ends in
+// "le" — role="edge" contains the bytes le=" — which used to strip the
+// wrong segment and leave the real le value in the key, so bucket lines
+// sorted lexically by le string ("+Inf" < "0.0001", "1e-06" last) instead
+// of staying in ascending-le insertion order.
 func seriesSortKey(s promSeries) string {
 	labels := s.labels
-	if i := strings.Index(labels, `le="`); i >= 0 {
-		if j := strings.Index(labels[i+4:], `"`); j >= 0 {
-			labels = labels[:i] + labels[i+4+j+1:]
+	for i := 0; i+4 <= len(labels); i++ {
+		if labels[i:i+4] != `le="` {
+			continue
 		}
+		if i == 0 || (labels[i-1] != '{' && labels[i-1] != ',') {
+			continue // inside another label's key or value, not the le pair
+		}
+		j := strings.IndexByte(labels[i+4:], '"')
+		if j < 0 {
+			break
+		}
+		end := i + 4 + j + 1 // one past the closing quote
+		if labels[i-1] == ',' {
+			labels = labels[:i-1] + labels[end:] // {...,le="x"} -> {...}
+		} else {
+			labels = labels[:i] + labels[end:] // {le="x"} -> {}; {le="x",...} stays comma-led either way
+		}
+		break
 	}
 	return labels + "\x00" + s.name
 }

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestSLOEngineScoring pins the attainment and burn-rate arithmetic,
+// including the inclusive objective edge (d == Objective is good).
+func TestSLOEngineScoring(t *testing.T) {
+	e := NewSLOEngine(SLOConfig{Objective: 10 * time.Millisecond, Target: 0.9})
+	for i := 0; i < 7; i++ {
+		e.Record("f", 5*time.Millisecond)
+	}
+	e.Record("f", 10*time.Millisecond) // exactly on the objective: good
+	e.Record("f", 11*time.Millisecond)
+	e.Record("f", time.Second)
+
+	sts := e.Status()
+	if len(sts) != 1 {
+		t.Fatalf("status entries = %d, want 1", len(sts))
+	}
+	st := sts[0]
+	if st.Fn != "f" || st.Requests != 10 || st.Violations != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Attainment != 0.8 {
+		t.Fatalf("attainment = %v, want 0.8", st.Attainment)
+	}
+	// Violation rate 0.2 against a 0.1 budget: burning at 2x.
+	if st.BurnRate < 1.999 || st.BurnRate > 2.001 {
+		t.Fatalf("burn rate = %v, want 2.0", st.BurnRate)
+	}
+	if st.MaxMS != 1000 {
+		t.Fatalf("max_ms = %v, want 1000", st.MaxMS)
+	}
+
+	// Per-function objectives override the default; unknown functions see
+	// the default.
+	e.SetObjective("g", SLOConfig{Objective: 5 * time.Millisecond, Target: 0.99})
+	if got := e.Objective("g"); got.Objective != 5*time.Millisecond || got.Target != 0.99 {
+		t.Fatalf("Objective(g) = %+v", got)
+	}
+	if got := e.Objective("nope"); got.Objective != 10*time.Millisecond {
+		t.Fatalf("Objective(nope) = %+v, want the default", got)
+	}
+}
+
+// TestSLOMergeMatchesSingle: splitting a latency stream across two engines
+// and merging must produce byte-identical JSON to one engine observing
+// everything — the rollup contract for per-shard scoring.
+func TestSLOMergeMatchesSingle(t *testing.T) {
+	def := SLOConfig{Objective: 20 * time.Millisecond, Target: 0.95}
+	whole, a, b := NewSLOEngine(def), NewSLOEngine(def), NewSLOEngine(def)
+	// Good/violation counts are scored at Record time, so every shard must
+	// carry the same objective — just as SetObjective fans out in httpd.
+	gCfg := SLOConfig{Objective: time.Millisecond, Target: 0.5}
+	whole.SetObjective("g", gCfg)
+	a.SetObjective("g", gCfg)
+	b.SetObjective("g", gCfg)
+	for i := 1; i <= 300; i++ {
+		fn := "f"
+		if i%3 == 0 {
+			fn = "g"
+		}
+		d := time.Duration(i) * 173 * time.Microsecond
+		whole.Record(fn, d)
+		if i%2 == 0 {
+			a.Record(fn, d)
+		} else {
+			b.Record(fn, d)
+		}
+	}
+	a.Merge(b) // b's explicit objective for g must carry over
+
+	var want, got bytes.Buffer
+	if err := whole.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("merged JSON differs from single-engine JSON:\n%s\nvs\n%s", got.String(), want.String())
+	}
+
+	// An explicit objective on the merged-in engine overrides a default-only
+	// series on the receiver.
+	e1, e2 := NewSLOEngine(def), NewSLOEngine(def)
+	e2.SetObjective("h", gCfg)
+	e1.Merge(e2)
+	if got := e1.Objective("h"); got != gCfg {
+		t.Fatalf("merged objective = %+v, want %+v", got, gCfg)
+	}
+}
+
+// TestSLOWriteJSONShape: the /slo document is valid JSON with a functions
+// array (never null), even from a nil engine, and renders deterministically.
+func TestSLOWriteJSONShape(t *testing.T) {
+	var nilEngine *SLOEngine
+	var buf bytes.Buffer
+	if err := nilEngine.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		Default struct {
+			ObjectiveMS float64 `json:"objective_ms"`
+			Target      float64 `json:"target"`
+		} `json:"default"`
+		Functions []SLOStatus `json:"functions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("nil-engine JSON invalid: %v", err)
+	}
+	if v.Functions == nil {
+		t.Fatal("functions is null, want []")
+	}
+
+	e := NewSLOEngine(SLOConfig{Objective: time.Millisecond, Target: 0.999})
+	e.Record("f", time.Millisecond)
+	var b1, b2 bytes.Buffer
+	if err := e.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("WriteJSON is not deterministic")
+	}
+}
+
+// TestSLOExportGauges: Export mirrors the scored objectives into slo_*
+// gauge families for the /metrics view.
+func TestSLOExportGauges(t *testing.T) {
+	e := NewSLOEngine(SLOConfig{Objective: 10 * time.Millisecond, Target: 0.9})
+	for i := 0; i < 9; i++ {
+		e.Record("f", time.Millisecond)
+	}
+	e.Record("f", time.Second)
+	r := NewRegistry()
+	e.Export(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`slo_requests{fn="f"} 10`,
+		`slo_violations{fn="f"} 1`,
+		`slo_attainment_ratio{fn="f"} 0.9`,
+		`slo_error_budget_burn{fn="f"} 1`,
+		"# TYPE slo_requests gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nil-safety on both sides.
+	e.Export(nil)
+	var nilEngine *SLOEngine
+	nilEngine.Export(r)
+}
+
+// TestObserverRecordSLO pins the wiring: RecordSLO is inert without an
+// engine and feeds the engine when attached.
+func TestObserverRecordSLO(t *testing.T) {
+	env := sim.NewEnv()
+	o := New(env)
+	o.RecordSLO("f", time.Millisecond) // no engine: no-op
+	o.SLO = NewSLOEngine(SLOConfig{Objective: 10 * time.Millisecond, Target: 0.99})
+	o.RecordSLO("f", time.Millisecond)
+	o.RecordSLO("f", 20*time.Millisecond)
+	sts := o.SLO.Status()
+	if len(sts) != 1 || sts[0].Requests != 2 || sts[0].Violations != 1 {
+		t.Fatalf("status = %+v", sts)
+	}
+	var nilObs *Observer
+	nilObs.RecordSLO("f", time.Millisecond)
+}

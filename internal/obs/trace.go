@@ -105,6 +105,13 @@ func (s *Span) Duration() sim.Duration {
 	return s.End.Sub(s.Start)
 }
 
+// Open reports whether the span has not been finished. Exported so post-hoc
+// analyzers (obs/attrib) can distinguish an abandoned span from a finished
+// zero-length one — both report Duration() == 0.
+func (s *Span) Open() bool {
+	return s != nil && s.open
+}
+
 // Len reports the number of recorded spans.
 func (t *Tracer) Len() int {
 	if t == nil {

@@ -58,6 +58,13 @@ type Sharded struct {
 	lookahead Duration
 	outbox    [][]crossMsg // per source domain; owned by that domain's thread
 	merge     []crossMsg   // barrier scratch buffer, reused between rounds
+
+	// Window telemetry (SetWindowObserver). All nil/zero when detached;
+	// the windowed driver then pays one nil check per round.
+	winObs    WindowObserver
+	winEvents []int   // per-domain events fired in the current window
+	winFlow   []int64 // D×D src→dst messages delivered at the last barrier
+	winRound  int64
 }
 
 // crossMsg is one cross-domain message parked in a source domain's outbox
@@ -144,8 +151,9 @@ func (sh *Sharded) Send(from *Env, to int, delay Duration, fn func()) {
 // deliver drains every outbox, sorts the pending messages by (arrival time,
 // source domain, source sequence) — a total deterministic order, since the
 // sequence counter is unique per source — and enqueues them on their
-// destination heaps. Runs only between windows, single-threaded.
-func (sh *Sharded) deliver() {
+// destination heaps. Runs only between windows, single-threaded. Returns
+// the number of messages delivered.
+func (sh *Sharded) deliver() int {
 	msgs := sh.merge[:0]
 	for i := range sh.outbox {
 		msgs = append(msgs, sh.outbox[i]...)
@@ -153,7 +161,7 @@ func (sh *Sharded) deliver() {
 	}
 	if len(msgs) == 0 {
 		sh.merge = msgs
-		return
+		return 0
 	}
 	sort.Slice(msgs, func(i, j int) bool {
 		if msgs[i].at != msgs[j].at {
@@ -164,13 +172,19 @@ func (sh *Sharded) deliver() {
 		}
 		return msgs[i].srcSeq < msgs[j].srcSeq
 	})
+	n := len(msgs)
+	d := len(sh.doms)
 	for _, m := range msgs {
 		sh.doms[m.to].schedule(m.at, m.fn)
+		if sh.winFlow != nil && sh.winObs != nil {
+			sh.winFlow[m.src*d+m.to]++
+		}
 	}
 	for i := range msgs {
 		msgs[i].fn = nil
 	}
 	sh.merge = msgs[:0]
+	return n
 }
 
 // horizon returns the minimum next-event time across all domains and whether
@@ -249,18 +263,38 @@ func (sh *Sharded) runWindows(workers int) {
 	}
 	la := Time(sh.lookahead)
 	for {
-		sh.deliver()
+		delivered := sh.deliver()
 		h, ok := sh.horizon()
 		if !ok {
 			return
 		}
 		bound := h + la
 		if workers <= 1 {
-			for _, d := range sh.doms {
-				d.window(bound)
+			if sh.winObs != nil {
+				for i, d := range sh.doms {
+					sh.winEvents[i] = d.window(bound)
+				}
+			} else {
+				for _, d := range sh.doms {
+					d.window(bound)
+				}
 			}
 		} else {
 			sh.runRound(bound, workers)
+		}
+		if sh.winObs != nil {
+			sh.winRound++
+			sh.winObs.WindowRound(WindowStats{
+				Round:     sh.winRound,
+				Horizon:   h,
+				Bound:     bound,
+				Delivered: delivered,
+				Events:    sh.winEvents,
+				Flow:      sh.winFlow,
+			})
+			for i := range sh.winFlow {
+				sh.winFlow[i] = 0
+			}
 		}
 		if sh.anyStopped() {
 			return
@@ -271,10 +305,18 @@ func (sh *Sharded) runWindows(workers int) {
 // runRound executes one window on every domain using a pool of worker
 // goroutines. Domains are claimed from an atomic counter; since windows are
 // mutually independent, the claim order cannot influence the execution.
+// With telemetry attached each worker writes its domain's event count to a
+// distinct index of winEvents — no two workers share an element, so the
+// writes are race-free and the counts are identical to the sequential
+// path's.
 func (sh *Sharded) runRound(bound Time, workers int) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	events := ([]int)(nil)
+	if sh.winObs != nil {
+		events = sh.winEvents
+	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
@@ -283,7 +325,10 @@ func (sh *Sharded) runRound(bound Time, workers int) {
 				if i >= len(sh.doms) {
 					return
 				}
-				sh.doms[i].window(bound)
+				n := sh.doms[i].window(bound)
+				if events != nil {
+					events[i] = n
+				}
 			}
 		}()
 	}
