@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson shards-race report report-md golden trace-demo attrib-demo examples clean
+.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson clusterjson cluster-race shards-race report report-md golden trace-demo attrib-demo examples clean
 
 all: check
 
@@ -68,6 +68,18 @@ nipcjson:
 # fingerprint-equality check enforced at every point.
 simjson:
 	$(GO) run ./cmd/molecule-bench -soak BENCH_sim.json
+
+# Regenerate the cluster scaling snapshot (BENCH_cluster.json): the seeded
+# loadgen stream through the boss/worker control plane at machine counts
+# {1,2,4}, byte-identity enforced across kernel worker counts per point.
+clusterjson:
+	$(GO) run ./cmd/molecule-bench -cluster BENCH_cluster.json
+
+# The cluster control plane under the race detector plus the scaling-sweep
+# smoke (tables to stdout, no snapshot rewrite).
+cluster-race:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/httpd/
+	$(GO) run ./cmd/molecule-bench -cluster -
 
 # The sharded kernel under the race detector, with every bench-harness
 # simulation forced through the windowed driver at 4 OS workers.

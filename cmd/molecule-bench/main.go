@@ -107,6 +107,52 @@ func runAttribDemo(tablePath, foldedPath string) error {
 	return nil
 }
 
+// clusterJSON is the scaling snapshot written by -cluster
+// (BENCH_cluster.json): the same seeded loadgen stream through a Boss at
+// each machine count, with byte-identity across kernel worker counts
+// enforced at every point before it is reported.
+type clusterJSON struct {
+	MachineCounts []int                     `json:"machine_counts"`
+	WorkerCounts  []int                     `json:"worker_counts_checked"`
+	Points        []bench.ClusterSoakResult `json:"points"`
+}
+
+// clusterMachineCounts is the doubling sweep {1, 2, 4, ...} clamped to max.
+func clusterMachineCounts(max int) []int {
+	counts := []int{}
+	for m := 1; m <= max; m *= 2 {
+		counts = append(counts, m)
+	}
+	return counts
+}
+
+func runClusterSoak(path string, maxMachines int) error {
+	counts := clusterMachineCounts(maxMachines)
+	// Every point re-runs at each of these kernel worker counts and must
+	// produce the byte-identical fingerprint (1 = sequential reference).
+	workers := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		workers = append(workers, n)
+	}
+	points, err := bench.ClusterSoakSweep(counts, workers)
+	if err != nil {
+		return err
+	}
+	bench.ClusterSoakTable(points).Fprint(os.Stdout)
+	if path == "-" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(clusterJSON{MachineCounts: counts, WorkerCounts: workers, Points: points}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 // simJSON is the scaling snapshot written by -soak (BENCH_sim.json): the
 // same coupled multi-machine workload at each shard count, with the
 // fingerprint-equality check already enforced by the sweep itself.
@@ -186,9 +232,19 @@ func main() {
 	soakPath := flag.String("soak", "", "run the sharded-kernel scaling soak, print its table, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
 	soakMachines := flag.Int("soak-machines", 4, "with -soak: simulated machines")
 	soakInv := flag.Int("soak-inv", 50000, "with -soak: invocations per machine")
+	clusterPath := flag.String("cluster", "", "run the boss/worker cluster scaling soak, print its table, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
+	clusterMachines := flag.Int("cluster-machines", 4, "with -cluster: max machine count (sweep doubles 1,2,4,... up to this)")
 	flag.Parse()
 
 	bench.SetSimShards(*shards)
+
+	if *clusterPath != "" {
+		if err := runClusterSoak(*clusterPath, *clusterMachines); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *soakPath != "" {
 		if err := runShardSoak(*soakPath, *soakMachines, *soakInv); err != nil {

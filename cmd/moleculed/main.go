@@ -7,6 +7,15 @@
 //	curl -X POST 'localhost:8080/chain?fns=mr-splitter,mr-mapper,mr-reducer'
 //	curl 'localhost:8080/stats'
 //
+// With -cluster N it serves a boss/worker cluster of N machines instead:
+//
+//	moleculed -cluster 4 -dpus 2
+//
+//	curl -X POST 'localhost:8080/deploy?fn=pyaes'
+//	curl -X POST 'localhost:8080/invoke?fn=pyaes'       # reply names the machine
+//	curl 'localhost:8080/cluster/stats'
+//	curl -X POST 'localhost:8080/cluster/drain?worker=0'
+//
 // Latencies in responses are virtual (simulated); outputs are real.
 package main
 
@@ -48,6 +57,7 @@ func parseSLO(spec string) (obs.SLOConfig, error) {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	clusterN := flag.Int("cluster", 0, "serve a boss/worker cluster of `N` machines instead of a single machine (each machine gets the -dpus/-fpgas/-gpus shape; routes gain /cluster/stats, /cluster/drain, /cluster/undrain)")
 	dpus := flag.Int("dpus", 1, "Bluefield DPUs")
 	fpgas := flag.Int("fpgas", 1, "FPGAs")
 	gpus := flag.Int("gpus", 0, "GPUs")
@@ -67,6 +77,17 @@ func main() {
 		InvokeTimeout: *invokeTimeout,
 		MaxRetries:    *retries,
 		RetryBackoff:  *retryBackoff,
+	}
+	if *clusterN > 0 {
+		if *faultSpec != "" || *slo != "" || *trace || *metrics || *fnFile != "" {
+			log.Fatal("moleculed: -fault/-slo/-trace/-metrics/-functions are single-machine flags; not yet supported with -cluster")
+		}
+		cs, err := httpd.NewClusterServer(*clusterN, hw.Config{DPUs: *dpus, FPGAs: *fpgas, GPUs: *gpus}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("moleculed cluster listening on %s (%d machines, each DPUs=%d FPGAs=%d GPUs=%d)", *addr, *clusterN, *dpus, *fpgas, *gpus)
+		log.Fatal(http.ListenAndServe(*addr, cs.Handler()))
 	}
 	s, err := httpd.NewServer(hw.Config{DPUs: *dpus, FPGAs: *fpgas, GPUs: *gpus}, opts)
 	if err != nil {

@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+)
+
+// newTestBoss builds a small cluster and registers the given functions on
+// the default CPU profile.
+func newTestBoss(t *testing.T, machines int, cfg hw.Config, capacity int, fns ...string) *Boss {
+	t.Helper()
+	b, err := NewBoss(BossConfig{Machines: machines, HW: cfg, Opts: molecule.DefaultOptions(), Capacity: capacity})
+	if err != nil {
+		t.Fatalf("NewBoss: %v", err)
+	}
+	for _, fn := range fns {
+		if err := b.Register(fn); err != nil {
+			t.Fatalf("Register(%q): %v", fn, err)
+		}
+	}
+	return b
+}
+
+func TestBossInvokeCompletes(t *testing.T) {
+	b := newTestBoss(t, 2, hw.Config{}, 0, "pyaes")
+	var res molecule.Result
+	var worker int
+	var err error
+	b.Env.Spawn("client", func(p *sim.Proc) {
+		res, worker, err = b.InvokeDetailed(p, "pyaes", molecule.InvokeOptions{PU: -1})
+	})
+	b.Run(1)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if res.Total <= 0 {
+		t.Fatalf("want positive total latency, got %v", res.Total)
+	}
+	if worker < 0 || worker >= 2 {
+		t.Fatalf("served by machine %d, want 0 or 1", worker)
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight after run = %d, want 0", got)
+	}
+}
+
+// TestBossWarmAffinity: repeat invocations of the same function must land
+// on the same machine (rendezvous home), so the second request reuses the
+// first's warm instance instead of cold-starting a second machine.
+func TestBossWarmAffinity(t *testing.T) {
+	b := newTestBoss(t, 4, hw.Config{}, 0, "pyaes")
+	workers := make([]int, 0, 6)
+	colds := 0
+	b.Env.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			res, w, err := b.InvokeDetailed(p, "pyaes", molecule.InvokeOptions{PU: -1})
+			if err != nil {
+				t.Errorf("invoke %d: %v", i, err)
+				return
+			}
+			if res.Cold {
+				colds++
+			}
+			workers = append(workers, w)
+		}
+	})
+	b.Run(1)
+	for _, w := range workers[1:] {
+		if w != workers[0] {
+			t.Fatalf("affinity broken: requests served by machines %v", workers)
+		}
+	}
+	if colds != 1 {
+		t.Fatalf("cold starts = %d, want exactly 1 (warm reuse on the home machine)", colds)
+	}
+}
+
+// TestBossWorkStealing: saturate the home machine and verify overflow is
+// stolen by another machine rather than queued or failed.
+func TestBossWorkStealing(t *testing.T) {
+	const machines, cap = 3, 2
+	b := newTestBoss(t, machines, hw.Config{}, cap, "pyaes")
+	const n = machines * cap // enough to need every machine
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		b.Env.Spawn(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			_, errs[i] = b.Invoke(p, "pyaes", molecule.InvokeOptions{PU: -1})
+		})
+	}
+	b.Run(1)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if b.Stolen() == 0 {
+		t.Fatalf("no requests stolen despite %d concurrent requests on home capacity %d", n, cap)
+	}
+	busy := 0
+	for _, node := range b.Nodes() {
+		if node.Served() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("work stealing did not spread load: served=%v", servedOf(b))
+	}
+}
+
+// TestBossCentralQueue: more concurrent requests than cluster-wide
+// capacity must queue at the boss and drain, with zero failures.
+func TestBossCentralQueue(t *testing.T) {
+	const machines, cap = 2, 1
+	b := newTestBoss(t, machines, hw.Config{}, cap, "pyaes")
+	const n = 3 * machines * cap // 3x cluster capacity
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		b.Env.Spawn(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			_, errs[i] = b.Invoke(p, "pyaes", molecule.InvokeOptions{PU: -1})
+		})
+	}
+	b.Run(1)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if b.QueuedPeak() == 0 {
+		t.Fatalf("queue never used at 3x overload (peak=0)")
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight after run = %d, want 0", got)
+	}
+}
+
+// TestBossChainLocality: a chain whose functions all fit one machine must
+// run on one machine — zero interconnect hops inside the chain.
+func TestBossChainLocality(t *testing.T) {
+	b := newTestBoss(t, 3, hw.Config{DPUs: 1}, 0, "mr-splitter", "mr-mapper", "mr-reducer")
+	var res molecule.ChainResult
+	var err error
+	b.Env.Spawn("client", func(p *sim.Proc) {
+		res, err = b.InvokeChain(p, []string{"mr-splitter", "mr-mapper", "mr-reducer"}, molecule.ChainOptions{})
+	})
+	b.Run(1)
+	if err != nil {
+		t.Fatalf("InvokeChain: %v", err)
+	}
+	// A split chain appends the interconnect hop (ms-scale) to EdgeLatency;
+	// a local chain's edges are all intra-machine (µs-scale).
+	for i, e := range res.EdgeLatency {
+		if e >= b.IC.Lookahead() {
+			t.Fatalf("edge %d latency %v >= interconnect base %v: chain was split", i, e, b.IC.Lookahead())
+		}
+	}
+	served := 0
+	for _, n := range b.Nodes() {
+		if n.Served() > 0 {
+			served++
+		}
+	}
+	if served != 1 {
+		t.Fatalf("local chain touched %d machines, want 1 (served=%v)", served, servedOf(b))
+	}
+}
+
+// TestBossChainSplitHetero forces the chain-split path: two machines with
+// hand-restricted kind masks (emulating a heterogeneous fleet) so the
+// chain pyaes→matmul has no single eligible home and must run as two
+// segments with an interconnect hop between them.
+func TestBossChainSplitHetero(t *testing.T) {
+	b := newTestBoss(t, 2, hw.Config{DPUs: 1}, 0)
+	if err := b.Register("pyaes", molecule.DefaultProfile(hw.CPU)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := b.Register("matmul", molecule.DefaultProfile(hw.DPU)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	// Restrict machine 0 to CPU-only and machine 1 to DPU-only eligibility:
+	// the chain pyaes→matmul then has no single home and must split 0→1.
+	b.nodes[0].kinds = maskOf(hw.CPU)
+	b.nodes[1].kinds = maskOf(hw.DPU)
+	// Re-push kind-filtered registrations under the new masks.
+	b.nodes[0].regs = map[string][]molecule.Profile{"pyaes": {molecule.DefaultProfile(hw.CPU)}}
+	b.nodes[1].regs = map[string][]molecule.Profile{"matmul": {molecule.DefaultProfile(hw.DPU)}}
+
+	var res molecule.ChainResult
+	var err error
+	b.Env.Spawn("client", func(p *sim.Proc) {
+		res, err = b.InvokeChain(p, []string{"pyaes", "matmul"}, molecule.ChainOptions{})
+	})
+	b.Run(1)
+	if err != nil {
+		t.Fatalf("InvokeChain: %v", err)
+	}
+	split := false
+	for _, e := range res.EdgeLatency {
+		if e >= b.IC.Lookahead() {
+			split = true
+		}
+	}
+	if !split {
+		t.Fatalf("chain did not pay an interconnect hop despite disjoint machine kinds (edges=%v)", res.EdgeLatency)
+	}
+	for i, n := range b.Nodes() {
+		if n.Served() == 0 && i == len(b.Nodes())-1 {
+			t.Fatalf("split chain completion not attributed (served=%v)", servedOf(b))
+		}
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight after run = %d, want 0", got)
+	}
+}
+
+// TestBossFailover: kill a machine's PUs mid-run; its traffic must fail
+// over to the surviving machine via the boss, and after Revive+Readmit the
+// machine serves again.
+func TestBossFailover(t *testing.T) {
+	b := newTestBoss(t, 2, hw.Config{}, 0, "pyaes")
+	// Find the rendezvous home so we kill the machine actually serving.
+	var home *Node
+	var score uint64
+	for _, n := range b.Nodes() {
+		if s := rendezvous("pyaes", n.Domain); home == nil || s > score {
+			home, score = n, s
+		}
+	}
+	other := b.Nodes()[0]
+	if other == home {
+		other = b.Nodes()[1]
+	}
+
+	// The fault plan lives on the home machine's own domain: the kill fires
+	// there at a scheduled virtual time, never as a cross-domain mutation.
+	pl := faults.NewPlan(home.Env, 1)
+	home.RT.AttachFaults(pl)
+	killAt := sim.Time(2 * time.Second)
+	home.Env.At(killAt, func() {
+		for _, pu := range home.HW.PUs() {
+			pl.Kill(pu.ID)
+		}
+	})
+
+	var warmErr, postErr error
+	var warmWorker, postWorker int
+	b.Env.Spawn("client", func(p *sim.Proc) {
+		if _, warmWorker, warmErr = b.InvokeDetailed(p, "pyaes", molecule.InvokeOptions{PU: -1}); warmErr != nil {
+			return
+		}
+		p.Sleep(time.Duration(killAt) - time.Duration(p.Now()) + time.Second)
+		_, postWorker, postErr = b.InvokeDetailed(p, "pyaes", molecule.InvokeOptions{PU: -1})
+	})
+	b.Run(1)
+	if warmErr != nil {
+		t.Fatalf("warm-up invoke: %v", warmErr)
+	}
+	if warmWorker != home.ID() {
+		t.Fatalf("warm-up served by machine %d, want rendezvous home %d", warmWorker, home.ID())
+	}
+	if postErr != nil {
+		t.Fatalf("post-kill invoke did not fail over: %v", postErr)
+	}
+	if postWorker != other.ID() {
+		t.Fatalf("post-kill request served by machine %d, want survivor %d", postWorker, other.ID())
+	}
+	if !home.Down() {
+		t.Fatalf("boss did not mark the killed machine down")
+	}
+
+	// Revive at quiescence (the group is idle between runs), readmit, and
+	// verify the home serves again.
+	for _, pu := range home.HW.PUs() {
+		pl.Revive(pu.ID)
+	}
+	if err := b.Readmit(home.ID()); err != nil {
+		t.Fatalf("Readmit: %v", err)
+	}
+	var revivedWorker int
+	var revivedErr error
+	b.Env.Spawn("client2", func(p *sim.Proc) {
+		_, revivedWorker, revivedErr = b.InvokeDetailed(p, "pyaes", molecule.InvokeOptions{PU: -1})
+	})
+	b.Run(1)
+	if revivedErr != nil {
+		t.Fatalf("post-revive invoke: %v", revivedErr)
+	}
+	if revivedWorker != home.ID() {
+		t.Fatalf("post-revive request served by machine %d, want readmitted home %d", revivedWorker, home.ID())
+	}
+}
+
+// TestBossDrainUnderLoad: draining a machine mid-burst must not strand its
+// inflight requests, and new requests must avoid it.
+func TestBossDrainUnderLoad(t *testing.T) {
+	const n = 8
+	b := newTestBoss(t, 2, hw.Config{}, 2, "pyaes")
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		b.Env.Spawn(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			_, errs[i] = b.Invoke(p, "pyaes", molecule.InvokeOptions{PU: -1})
+		})
+	}
+	b.Env.At(sim.Time(50*time.Millisecond), func() {
+		if err := b.Drain(0); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	b.Run(1)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed across drain: %v", i, err)
+		}
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight after drain run = %d, want 0", got)
+	}
+}
+
+// TestBossDeterministicAcrossWorkers is the tentpole's core invariant: the
+// cluster soak fingerprint and the loadgen stats must be byte-identical at
+// every OS worker count.
+func TestBossDeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultSoakConfig(3)
+	cfg.RatePerSec = 120
+	cfg.Duration = 1 * time.Second
+	cfg.Capacity = 8
+
+	counts := []int{0, 1, 2, 4, runtime.NumCPU()}
+	var want string
+	for _, w := range counts {
+		res, err := Soak(cfg, w)
+		if err != nil {
+			t.Fatalf("Soak(workers=%d): %v", w, err)
+		}
+		fp := res.Fingerprint()
+		if want == "" {
+			want = fp
+			if res.Stats.Requests == 0 {
+				t.Fatalf("soak produced no requests")
+			}
+			if res.Stats.Errors != 0 {
+				t.Fatalf("soak produced %d errors: %s", res.Stats.Errors, fp)
+			}
+			continue
+		}
+		if fp != want {
+			t.Fatalf("workers=%d fingerprint diverged:\n  got  %s\n  want %s", w, fp, want)
+		}
+	}
+}
+
+// TestBossSaturatedIdleFailsQueue: a cluster with zero capacity must fail
+// queued requests deterministically instead of deadlocking.
+func TestBossSaturatedIdleFailsQueue(t *testing.T) {
+	b := newTestBoss(t, 1, hw.Config{}, 0, "pyaes")
+	b.nodes[0].capacity = 0 // hasRoom() is always false
+	var err error
+	b.Env.Spawn("client", func(p *sim.Proc) {
+		_, err = b.Invoke(p, "pyaes", molecule.InvokeOptions{PU: -1})
+	})
+	b.Run(1)
+	if !errors.Is(err, errClusterSaturated) {
+		t.Fatalf("want errClusterSaturated, got %v", err)
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+// TestBossUnregisteredFunction: a request for an unknown function errors
+// without charging any inflight window.
+func TestBossUnregisteredFunction(t *testing.T) {
+	b := newTestBoss(t, 1, hw.Config{}, 0)
+	var err error
+	b.Env.Spawn("client", func(p *sim.Proc) {
+		_, err = b.Invoke(p, "nope", molecule.InvokeOptions{PU: -1})
+	})
+	b.Run(1)
+	if err == nil {
+		t.Fatalf("want error for unregistered function")
+	}
+	if got := b.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+func servedOf(b *Boss) []int {
+	out := make([]int, len(b.Nodes()))
+	for i, n := range b.Nodes() {
+		out[i] = n.Served()
+	}
+	return out
+}

@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,29 +19,47 @@ import (
 	"repro/internal/workloads"
 )
 
+// kindMask is a bitset of hw.PUKind values — precomputed once per worker
+// and once per registration so the scheduling hotpath tests eligibility
+// with a single AND instead of building a map per worker per request.
+type kindMask uint32
+
+func maskOf(kinds ...hw.PUKind) kindMask {
+	var m kindMask
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+func (m kindMask) has(k hw.PUKind) bool { return m&(1<<uint(k)) != 0 }
+
 // Worker is one heterogeneous computer managed by the gateway.
 type Worker struct {
 	ID      int
 	Machine *hw.Machine
 	RT      *molecule.Runtime
 
+	kinds    kindMask // PU kinds present, precomputed at AddWorker
 	deployed map[string]bool
 	inflight int  // requests scheduled here but not yet completed
 	draining bool // excluded from scheduling (maintenance)
 }
 
-// kinds returns the PU kinds present on the worker.
-func (w *Worker) kinds() map[hw.PUKind]bool {
-	out := make(map[hw.PUKind]bool)
-	for _, pu := range w.Machine.PUs() {
-		out[pu.Kind] = true
+// machineKinds returns the bitset of PU kinds present on a machine.
+func machineKinds(m *hw.Machine) kindMask {
+	var mask kindMask
+	for _, pu := range m.PUs() {
+		mask |= 1 << uint(pu.Kind)
 	}
-	return out
+	return mask
 }
 
 // load returns the worker's utilization in [0,1]: placed instances plus
 // requests already scheduled here but not yet served (so simultaneous
 // arrivals spread instead of piling onto one worker).
+//
+//molecule:hotpath
 func (w *Worker) load() float64 {
 	c := w.RT.Capacity()
 	if c == 0 {
@@ -49,9 +68,13 @@ func (w *Worker) load() float64 {
 	return float64(w.RT.LiveInstances()+w.inflight) / float64(c)
 }
 
+// Inflight reports requests scheduled to the worker but not yet completed.
+func (w *Worker) Inflight() int { return w.inflight }
+
 // registration is a function registered with the gateway.
 type registration struct {
 	profiles []molecule.Profile
+	mask     kindMask // union of the profiles' PU kinds
 }
 
 // Gateway is the global manager.
@@ -59,8 +82,20 @@ type Gateway struct {
 	Env      *sim.Env
 	Registry *workloads.Registry
 
-	workers []*Worker
-	funcs   map[string]*registration
+	workers  []*Worker
+	funcs    map[string]*registration
+	inflight int // total requests inside the gateway, across all workers
+
+	// waiters are requests parked because every eligible worker was at
+	// capacity; each completion wakes all of them to retry (FIFO append
+	// order keeps the wakeups deterministic).
+	waiters []*sim.Chan[struct{}]
+	// epoch counts events that can actually free capacity: successful
+	// completions and drain/undrain. Parked requests only re-run
+	// scheduling when it advances — a failed attempt wakes them solely to
+	// re-check the nothing-inflight guard, never to retry, which is what
+	// makes the queue livelock-free.
+	epoch int
 }
 
 // NewGateway returns an empty gateway.
@@ -76,10 +111,15 @@ func (g *Gateway) AddWorker(p *sim.Proc, cfg hw.Config, opts molecule.Options) (
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{ID: len(g.workers), Machine: m, RT: rt, deployed: make(map[string]bool)}
+	w := &Worker{ID: len(g.workers), Machine: m, RT: rt, kinds: machineKinds(m), deployed: make(map[string]bool)}
 	g.workers = append(g.workers, w)
 	return w, nil
 }
+
+// Inflight reports the total requests inside the gateway (scheduled but
+// not completed). Zero when the cluster is quiescent — tests assert this
+// on every error path.
+func (g *Gateway) Inflight() int { return g.inflight }
 
 // Workers returns the attached workers.
 func (g *Gateway) Workers() []*Worker { return g.workers }
@@ -91,6 +131,8 @@ func (g *Gateway) Drain(workerID int) error {
 		return fmt.Errorf("cluster: no worker %d", workerID)
 	}
 	g.workers[workerID].draining = true
+	g.epoch++
+	g.wake() // parked requests re-schedule against the shrunken worker set
 	return nil
 }
 
@@ -100,6 +142,8 @@ func (g *Gateway) Undrain(workerID int) error {
 		return fmt.Errorf("cluster: no worker %d", workerID)
 	}
 	g.workers[workerID].draining = false
+	g.epoch++
+	g.wake() // the re-admitted worker may free parked requests
 	return nil
 }
 
@@ -115,55 +159,142 @@ func (g *Gateway) Register(funcName string, profiles ...molecule.Profile) error 
 	if len(profiles) == 0 {
 		profiles = []molecule.Profile{molecule.DefaultProfile(hw.CPU)}
 	}
-	g.funcs[funcName] = &registration{profiles: profiles}
+	var mask kindMask
+	for _, pr := range profiles {
+		mask |= maskOf(pr.Kind)
+	}
+	g.funcs[funcName] = &registration{profiles: profiles, mask: mask}
 	return nil
 }
 
-// eligible reports whether the worker has at least one PU kind among the
-// function's profiles (§4.1: "machines with at least one of the required
-// kinds of PU where the function can execute").
-func (g *Gateway) eligible(w *Worker, reg *registration) bool {
-	kinds := w.kinds()
-	for _, pr := range reg.profiles {
-		if kinds[pr.Kind] {
-			return true
+// scheduleOne picks the worker for one function: the least-loaded eligible
+// worker that still has headroom, falling back to the least-loaded eligible
+// worker outright when every one is saturated — the request then queues at
+// the gateway (see awaitSlot) instead of failing, which is the fix for the
+// burst-drop bug. Eligibility (§4.1: "machines with at least one of the
+// required kinds of PU") is one mask AND.
+//
+//molecule:hotpath
+func (g *Gateway) scheduleOne(name string) (*Worker, error) {
+	r, ok := g.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: function %q not registered", name)
+	}
+	var best, fallback *Worker
+	var bestLoad, fbLoad float64
+	for _, w := range g.workers {
+		if w.draining || w.kinds&r.mask == 0 {
+			continue
+		}
+		l := w.load()
+		if fallback == nil || l < fbLoad {
+			fallback, fbLoad = w, l
+		}
+		if l >= 1 {
+			continue
+		}
+		if best == nil || l < bestLoad {
+			best, bestLoad = w, l
 		}
 	}
-	return false
+	if best != nil {
+		return best, nil
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("cluster: no eligible worker for %q", name)
 }
 
-// schedule picks the least-loaded eligible worker for every function in
-// names (they must all fit one worker for chain locality); single functions
-// are the one-element case.
-func (g *Gateway) schedule(names []string) (*Worker, error) {
-	regs := make([]*registration, len(names))
-	for i, name := range names {
-		r, ok := g.funcs[name]
-		if !ok {
+// scheduleChain picks one worker eligible for every function in the chain
+// (chain locality, §4.1), least-loaded first with the same saturation
+// fallback as scheduleOne.
+//
+//molecule:hotpath
+func (g *Gateway) scheduleChain(names []string) (*Worker, error) {
+	for _, name := range names {
+		if _, ok := g.funcs[name]; !ok {
 			return nil, fmt.Errorf("cluster: function %q not registered", name)
 		}
-		regs[i] = r
 	}
-	var best *Worker
+	var best, fallback *Worker
+	var bestLoad, fbLoad float64
 	for _, w := range g.workers {
+		if w.draining {
+			continue
+		}
 		ok := true
-		for _, r := range regs {
-			if !g.eligible(w, r) {
+		for _, name := range names {
+			if w.kinds&g.funcs[name].mask == 0 {
 				ok = false
 				break
 			}
 		}
-		if !ok || w.draining || w.load() >= 1 {
+		if !ok {
 			continue
 		}
-		if best == nil || w.load() < best.load() {
-			best = w
+		l := w.load()
+		if fallback == nil || l < fbLoad {
+			fallback, fbLoad = w, l
+		}
+		if l >= 1 {
+			continue
+		}
+		if best == nil || l < bestLoad {
+			best, bestLoad = w, l
 		}
 	}
-	if best == nil {
-		return nil, fmt.Errorf("cluster: no eligible worker for %v", names)
+	if best != nil {
+		return best, nil
 	}
-	return best, nil
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("cluster: no eligible worker for %v", names)
+}
+
+// wake releases every parked request to re-run scheduling. Called after
+// each completion (success or error — either may free capacity or change
+// loads) and after Drain/Undrain. Wake-all is deliberate: the woken
+// requests re-check admission themselves, so no wakeup is ever lost, and
+// the sim kernel resumes them in deterministic order.
+func (g *Gateway) wake() {
+	if len(g.waiters) == 0 {
+		return
+	}
+	ws := g.waiters
+	g.waiters = nil
+	for _, ch := range ws {
+		ch.TrySend(struct{}{})
+	}
+}
+
+// errClusterSaturated reports a request that found no capacity and nothing
+// inflight to wait for: every eligible worker's capacity is pinned by live
+// instances (e.g. warm pools after SetCapacity shrank the machine). It
+// wraps molecule.ErrUnavailable so gateways above (httpd) can map it to
+// 503 without reaching into this package.
+var errClusterSaturated = fmt.Errorf("cluster: saturated with nothing inflight: %w", molecule.ErrUnavailable)
+
+// awaitSlot parks the calling request until capacity may genuinely have
+// been freed (the epoch advanced: a success completed, or the worker set
+// changed), then lets it retry scheduling. It refuses to park when nothing
+// is inflight anywhere — no completion would ever arrive — so saturation
+// with an idle cluster stays a hard error instead of a deadlock; and when
+// one waiter gives up it wakes the rest so they re-check the same guard
+// instead of waiting forever.
+func (g *Gateway) awaitSlot(p *sim.Proc) error {
+	seen := g.epoch
+	for g.epoch == seen {
+		if g.inflight == 0 {
+			g.wake() // cascade: let other parked waiters give up too
+			return errClusterSaturated
+		}
+		ch := sim.NewChan[struct{}](g.Env, 1)
+		g.waiters = append(g.waiters, ch)
+		ch.Recv(p)
+	}
+	return nil
 }
 
 // ensureDeployed deploys the function on the worker on first use.
@@ -173,10 +304,9 @@ func (g *Gateway) ensureDeployed(p *sim.Proc, w *Worker, name string) error {
 	}
 	reg := g.funcs[name]
 	// Only deploy the profiles the worker can satisfy.
-	kinds := w.kinds()
 	var profiles []molecule.Profile
 	for _, pr := range reg.profiles {
-		if kinds[pr.Kind] {
+		if w.kinds.has(pr.Kind) {
 			profiles = append(profiles, pr)
 		}
 	}
@@ -197,52 +327,100 @@ type InvokeResult struct {
 	Gateway time.Duration // time spent in gateway + network, not the worker
 }
 
-// Invoke schedules one request through the gateway.
+// Invoke schedules one request through the gateway. When every eligible
+// worker is at capacity the request queues at the gateway and retries as
+// completions free slots, so bursts above cluster capacity complete
+// instead of erroring.
 func (g *Gateway) Invoke(p *sim.Proc, funcName string, opts molecule.InvokeOptions) (InvokeResult, error) {
 	start := p.Now()
-	w, err := g.schedule([]string{funcName})
-	if err != nil {
-		return InvokeResult{}, err
-	}
-	w.inflight++
-	defer func() { w.inflight-- }()
 	ingress(p) // client → gateway → worker
-	if err := g.ensureDeployed(p, w, funcName); err != nil {
-		return InvokeResult{}, err
+	for {
+		w, err := g.scheduleOne(funcName)
+		if err != nil {
+			return InvokeResult{}, err
+		}
+		res, enter, exit, err := g.attemptOne(p, w, funcName, opts)
+		if err != nil && errors.Is(err, molecule.ErrNoCapacity) {
+			if waitErr := g.awaitSlot(p); waitErr == nil {
+				continue // a completion freed something: re-schedule
+			}
+			return InvokeResult{}, err
+		}
+		if err != nil {
+			return InvokeResult{}, err
+		}
+		ingress(p) // worker → gateway → client
+		return InvokeResult{
+			Result:  res,
+			Worker:  w.ID,
+			Gateway: p.Now().Sub(start) - exit.Sub(enter),
+		}, nil
 	}
-	enter := p.Now()
-	res, err := w.RT.Invoke(p, funcName, opts)
-	if err != nil {
-		return InvokeResult{}, err
+}
+
+// attemptOne runs one scheduling attempt against a chosen worker, keeping
+// the inflight counters balanced on every exit path.
+func (g *Gateway) attemptOne(p *sim.Proc, w *Worker, funcName string, opts molecule.InvokeOptions) (res molecule.Result, enter, exit sim.Time, err error) {
+	w.inflight++
+	g.inflight++
+	defer func() {
+		w.inflight--
+		g.inflight--
+		if err == nil {
+			g.epoch++ // a success frees a warm instance: waiters may retry
+		}
+		g.wake() // even errors wake: waiters re-check the inflight guard
+	}()
+	if err = g.ensureDeployed(p, w, funcName); err != nil {
+		return res, enter, exit, err
 	}
-	exit := p.Now()
-	ingress(p) // worker → gateway → client
-	return InvokeResult{
-		Result:  res,
-		Worker:  w.ID,
-		Gateway: p.Now().Sub(start) - exit.Sub(enter),
-	}, nil
+	enter = p.Now()
+	res, err = w.RT.Invoke(p, funcName, opts)
+	exit = p.Now()
+	return res, enter, exit, err
 }
 
 // InvokeChain schedules a whole chain onto one worker (chain locality) and
-// runs it through the worker's direct-connect DAG engine.
+// runs it through the worker's direct-connect DAG engine, with the same
+// queue-on-saturation behavior as Invoke.
 func (g *Gateway) InvokeChain(p *sim.Proc, names []string, policy molecule.PlacementPolicy) (molecule.ChainResult, int, error) {
-	w, err := g.schedule(names)
-	if err != nil {
-		return molecule.ChainResult{}, -1, err
-	}
-	w.inflight += len(names)
-	defer func() { w.inflight -= len(names) }()
 	ingress(p)
-	for _, name := range names {
-		if err := g.ensureDeployed(p, w, name); err != nil {
+	for {
+		w, err := g.scheduleChain(names)
+		if err != nil {
 			return molecule.ChainResult{}, -1, err
 		}
+		res, err := g.attemptChain(p, w, names, policy)
+		if err != nil && errors.Is(err, molecule.ErrNoCapacity) {
+			if waitErr := g.awaitSlot(p); waitErr == nil {
+				continue
+			}
+			return molecule.ChainResult{}, -1, err
+		}
+		if err != nil {
+			return molecule.ChainResult{}, -1, err
+		}
+		ingress(p)
+		return res, w.ID, nil
 	}
-	res, err := w.RT.InvokeChainWithPolicy(p, names, policy)
-	if err != nil {
-		return molecule.ChainResult{}, -1, err
+}
+
+// attemptChain mirrors attemptOne for chains.
+func (g *Gateway) attemptChain(p *sim.Proc, w *Worker, names []string, policy molecule.PlacementPolicy) (res molecule.ChainResult, err error) {
+	w.inflight += len(names)
+	g.inflight += len(names)
+	defer func() {
+		w.inflight -= len(names)
+		g.inflight -= len(names)
+		if err == nil {
+			g.epoch++
+		}
+		g.wake()
+	}()
+	for _, name := range names {
+		if err = g.ensureDeployed(p, w, name); err != nil {
+			return res, err
+		}
 	}
-	ingress(p)
-	return res, w.ID, nil
+	return w.RT.InvokeChainWithPolicy(p, names, policy)
 }

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/molecule"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// shrinkCapacity pins every general-purpose PU on the worker to cap
+// instances, so saturation is reachable with a handful of requests.
+func shrinkCapacity(w *Worker, cap int) {
+	for _, pu := range w.Machine.PUs() {
+		if pu.Kind.GeneralPurpose() {
+			w.RT.SetCapacity(pu.ID, cap)
+		}
+	}
+}
+
+// TestBurstAboveCapacityCompletes is the regression test for the
+// burst-drop bug: a burst of 2× the cluster's total instance capacity must
+// complete with zero errors — the overflow queues at the gateway and is
+// served as completions free slots, instead of "no eligible worker".
+func TestBurstAboveCapacityCompletes(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		w0, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		w1, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		shrinkCapacity(w0, 2)
+		shrinkCapacity(w1, 2) // total cluster capacity: 4
+		if err := g.Register("pyaes"); err != nil {
+			t.Fatal(err)
+		}
+		const burst = 8 // 2× capacity
+		errs, done := 0, 0
+		wg := sim.NewWaitGroup(g.Env)
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			g.Env.Spawn("req", func(cp *sim.Proc) {
+				defer wg.Done()
+				if _, err := g.Invoke(cp, "pyaes", molecule.DefaultInvokeOptions()); err != nil {
+					errs++
+					t.Errorf("burst request failed: %v", err)
+					return
+				}
+				done++
+			})
+		}
+		wg.Wait(p)
+		if errs != 0 || done != burst {
+			t.Errorf("burst: %d/%d completed, %d errors, want all %d with zero errors", done, burst, errs, burst)
+		}
+		if g.Inflight() != 0 || w0.Inflight() != 0 || w1.Inflight() != 0 {
+			t.Errorf("inflight counters not drained: gateway=%d w0=%d w1=%d", g.Inflight(), w0.Inflight(), w1.Inflight())
+		}
+	})
+}
+
+// TestChainBurstAboveCapacityCompletes covers the same queue-on-saturation
+// path for chains.
+func TestChainBurstAboveCapacityCompletes(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		w0, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		shrinkCapacity(w0, 2)
+		chain := []string{"pyaes", "pyaes"}
+		if err := g.Register("pyaes"); err != nil {
+			t.Fatal(err)
+		}
+		wg := sim.NewWaitGroup(g.Env)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			g.Env.Spawn("chain", func(cp *sim.Proc) {
+				defer wg.Done()
+				if _, _, err := g.InvokeChain(cp, chain, molecule.PlaceChainAffinity); err != nil {
+					t.Errorf("chain burst request failed: %v", err)
+				}
+			})
+		}
+		wg.Wait(p)
+		if g.Inflight() != 0 {
+			t.Errorf("gateway inflight = %d after burst, want 0", g.Inflight())
+		}
+	})
+}
+
+// TestSaturatedIdleClusterStillErrors pins the deadlock guard: when every
+// eligible worker's capacity is zero and nothing is inflight, a request
+// must fail fast (nothing will ever complete to wake it) — and the
+// inflight counters must be back at zero afterwards.
+func TestSaturatedIdleClusterStillErrors(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		w, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		shrinkCapacity(w, 0)
+		if err := g.Register("pyaes"); err != nil {
+			t.Fatal(err)
+		}
+		_, err := g.Invoke(p, "pyaes", molecule.DefaultInvokeOptions())
+		if err == nil {
+			t.Fatal("invoke on a zero-capacity cluster succeeded")
+		}
+		if !errors.Is(err, molecule.ErrNoCapacity) {
+			t.Errorf("error %v does not wrap molecule.ErrNoCapacity", err)
+		}
+		if g.Inflight() != 0 || w.Inflight() != 0 {
+			t.Errorf("inflight counters leaked on error path: gateway=%d worker=%d", g.Inflight(), w.Inflight())
+		}
+	})
+}
+
+// TestInflightZeroOnErrorPaths walks every request-rejection path and
+// asserts the inflight accounting returns to zero each time.
+func TestInflightZeroOnErrorPaths(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		w, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		g.Register("pyaes")
+		check := func(when string) {
+			if g.Inflight() != 0 || w.Inflight() != 0 {
+				t.Errorf("%s: inflight gateway=%d worker=%d, want 0", when, g.Inflight(), w.Inflight())
+			}
+		}
+		if _, err := g.Invoke(p, "unregistered", molecule.DefaultInvokeOptions()); err == nil {
+			t.Error("unregistered function scheduled")
+		}
+		check("unregistered function")
+		g.Register("mscale", molecule.DefaultProfile(hw.FPGA))
+		if _, err := g.Invoke(p, "mscale", molecule.DefaultInvokeOptions()); err == nil {
+			t.Error("FPGA function scheduled on CPU-only cluster")
+		}
+		check("kind mismatch")
+		if _, _, err := g.InvokeChain(p, []string{"pyaes", "mscale"}, molecule.PlaceChainAffinity); err == nil {
+			t.Error("mixed chain scheduled on CPU-only cluster")
+		}
+		check("ineligible chain")
+		g.Drain(0)
+		if _, err := g.Invoke(p, "pyaes", molecule.DefaultInvokeOptions()); err == nil {
+			t.Error("request scheduled on fully drained cluster")
+		}
+		check("fully drained")
+		g.Undrain(0)
+		if _, err := g.Invoke(p, "pyaes", molecule.DefaultInvokeOptions()); err != nil {
+			t.Errorf("healthy invoke after error paths: %v", err)
+		}
+		check("after recovery")
+	})
+}
+
+// TestDrainMidBurstStrandsNothing drains a worker while a burst is in
+// flight: every request must still complete (the drained worker finishes
+// what it accepted; queued work re-schedules to the survivor).
+func TestDrainMidBurstStrandsNothing(t *testing.T) {
+	withGateway(t, func(p *sim.Proc, g *Gateway) {
+		w0, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		w1, _ := g.AddWorker(p, hw.Config{}, molecule.DefaultOptions())
+		shrinkCapacity(w0, 2)
+		shrinkCapacity(w1, 2)
+		if err := g.Register("pyaes"); err != nil {
+			t.Fatal(err)
+		}
+		const burst = 10
+		done := 0
+		wg := sim.NewWaitGroup(g.Env)
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			g.Env.Spawn("req", func(cp *sim.Proc) {
+				defer wg.Done()
+				if _, err := g.Invoke(cp, "pyaes", molecule.DefaultInvokeOptions()); err != nil {
+					t.Errorf("request failed during drain: %v", err)
+					return
+				}
+				done++
+			})
+		}
+		// Drain worker 0 while the burst is mid-flight, undrain later.
+		g.Env.Spawn("operator", func(cp *sim.Proc) {
+			cp.Sleep(5e6) // 5ms: inside the burst's service window
+			if err := g.Drain(0); err != nil {
+				t.Error(err)
+			}
+		})
+		wg.Wait(p)
+		if done != burst {
+			t.Errorf("%d/%d requests completed across drain", done, burst)
+		}
+		if g.Inflight() != 0 || w0.Inflight() != 0 || w1.Inflight() != 0 {
+			t.Errorf("inflight not drained: gateway=%d w0=%d w1=%d", g.Inflight(), w0.Inflight(), w1.Inflight())
+		}
+	})
+}
+
+// TestScheduleZeroAlloc pins the scheduling hotpath at zero allocations:
+// eligibility is a precomputed mask AND and load() walks the runtime's
+// node table without building slices.
+func TestScheduleZeroAlloc(t *testing.T) {
+	env := sim.NewEnv()
+	g := NewGateway(env, workloads.NewRegistry())
+	env.Spawn("boot", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if _, err := g.AddWorker(p, hw.Config{DPUs: 1}, molecule.DefaultOptions()); err != nil {
+				t.Error(err)
+			}
+		}
+		g.Register("pyaes")
+		g.Register("matmul")
+	})
+	env.Run()
+	chain := []string{"pyaes", "matmul"}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := g.scheduleOne("pyaes"); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("scheduleOne allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := g.scheduleChain(chain); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("scheduleChain allocates %v/op, want 0", n)
+	}
+}
+
+// BenchmarkGatewaySchedule measures the per-request scheduling decision
+// over a 4-worker heterogeneous cluster (run with -benchmem: 0 allocs/op).
+func BenchmarkGatewaySchedule(b *testing.B) {
+	env := sim.NewEnv()
+	g := NewGateway(env, workloads.NewRegistry())
+	env.Spawn("boot", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if _, err := g.AddWorker(p, hw.Config{DPUs: 2, FPGAs: 1}, molecule.DefaultOptions()); err != nil {
+				b.Error(err)
+			}
+		}
+		g.Register("pyaes")
+	})
+	env.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.scheduleOne("pyaes"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

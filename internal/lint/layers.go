@@ -75,13 +75,16 @@ var Table = map[string]Layer{
 	"ocicli":   {Level: 5, Sim: true},
 
 	// Level 6: drivers over the runtime.
-	"cluster": {Level: 6, Sim: true, Report: true},
 	"loadgen": {Level: 6, Sim: true},
 
-	// Level 7-8: the experiment harness and its HTTP front end. These
+	// Level 7: the cluster control plane. It sits above loadgen because the
+	// cluster soak drives the boss with the standard traffic model.
+	"cluster": {Level: 7, Sim: true, Report: true},
+
+	// Level 8-9: the experiment harness and its HTTP front end. These
 	// produce the human-facing output and may read the wall clock (to
 	// report harness runtime), so Sim is off — but their own map iteration
 	// still must not reorder that output.
-	"bench": {Level: 7, Report: true},
-	"httpd": {Level: 8, Report: true},
+	"bench": {Level: 8, Report: true},
+	"httpd": {Level: 9, Report: true},
 }

@@ -146,10 +146,21 @@ func (rt *Runtime) InvokeChain(p *sim.Proc, names []string, opts ChainOptions) (
 		return ChainResult{}, fmt.Errorf("molecule: placement length %d != chain length %d", len(placement), n)
 	}
 
-	// Acquire instances (warm where possible).
+	// Acquire instances (warm where possible). The release defer is
+	// registered before the acquire loop: when a later function's acquire
+	// fails (capacity race between concurrent chains), the instances already
+	// acquired must go back to the warm pool — leaking them pins liveCount
+	// above capacity forever and wedges every subsequent placement.
 	var res ChainResult
 	insts := make([]*instance, n)
 	deps := make([]*Deployment, n)
+	defer func() {
+		for _, inst := range insts {
+			if inst != nil {
+				rt.release(p, inst)
+			}
+		}
+	}()
 	for i, name := range names {
 		d, err := rt.Deployment(name)
 		if err != nil {
@@ -169,11 +180,6 @@ func (rt *Runtime) InvokeChain(p *sim.Proc, names []string, opts ChainOptions) (
 		}
 		insts[i] = inst
 	}
-	defer func() {
-		for _, inst := range insts {
-			rt.release(p, inst)
-		}
-	}()
 
 	// Wire the gateway edge plus one edge per chain hop.
 	hostNode := rt.nodes[rt.hostID]

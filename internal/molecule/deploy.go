@@ -1,6 +1,7 @@
 package molecule
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/faults"
@@ -9,6 +10,12 @@ import (
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
+
+// ErrNoCapacity reports that placement failed because every eligible live
+// PU is at its instance cap. Callers that admission-control (the cluster
+// gateway and boss) match it with errors.Is to requeue instead of failing
+// the request.
+var ErrNoCapacity = errors.New("no capacity")
 
 // Profile is one execution setting a user selects for a function: a PU kind
 // plus its resource/price point (§4.1: Molecule requires end-users to
@@ -317,7 +324,7 @@ func (rt *Runtime) placeGeneral(d *Deployment, pin hw.PUID) (*puNode, error) {
 			return nil, fmt.Errorf("molecule: %q has no %v profile", d.Fn.Name, n.pu.Kind)
 		}
 		if n.liveCount >= n.capacity {
-			return nil, fmt.Errorf("molecule: PU %d at capacity (%d)", pin, n.capacity)
+			return nil, fmt.Errorf("molecule: PU %d at capacity (%d): %w", pin, n.capacity, ErrNoCapacity)
 		}
 		return n, nil
 	}
@@ -331,16 +338,33 @@ func (rt *Runtime) placeGeneral(d *Deployment, pin hw.PUID) (*puNode, error) {
 	// The kind-then-PU-ID scan is what makes failover deterministic: when a
 	// preferred PU is down, the placement lands on the lowest-ordered
 	// surviving PU with capacity.
+	anyLive := false
+	anyDown := false
 	for _, kind := range generalKinds {
 		if !d.SupportsKind(kind) {
 			continue
 		}
 		for _, pu := range rt.Machine.PUsOfKind(kind) {
 			n := rt.nodes[pu.ID]
-			if n != nil && n.cr != nil && n.liveCount < n.capacity && !rt.puDown(pu.ID) {
+			if n == nil || n.cr == nil {
+				continue
+			}
+			if rt.puDown(pu.ID) {
+				anyDown = true
+				continue
+			}
+			anyLive = true
+			if n.liveCount < n.capacity {
 				return n, nil
 			}
 		}
 	}
-	return nil, fmt.Errorf("molecule: no capacity for %q on any live PU", d.Fn.Name)
+	if !anyLive && anyDown {
+		// Not a capacity problem: every PU that could host the function is
+		// crashed. Report infrastructure failure so callers that queue on
+		// ErrNoCapacity (the cluster boss) fail over instead of waiting for
+		// capacity that cannot free up.
+		return nil, fmt.Errorf("molecule: every PU supporting %q is down: %w", d.Fn.Name, faults.ErrPUDown)
+	}
+	return nil, fmt.Errorf("molecule: %w for %q on any live PU", ErrNoCapacity, d.Fn.Name)
 }

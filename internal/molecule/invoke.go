@@ -1,6 +1,7 @@
 package molecule
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -309,6 +310,13 @@ func (rt *Runtime) popWarmOn(n *puNode, fn string) *instance {
 func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID, parent *obs.Span) (*instance, error) {
 	ps := rt.obs.Span(parent, "placement", -1)
 	n, err := rt.placeGeneral(d, pin)
+	if err != nil && errors.Is(err, ErrNoCapacity) && rt.evictForPlacement(p, d, pin) {
+		// Density pressure: every slot was pinned, but an idle warm
+		// instance was reclaimed per keep-alive priority — retry. This
+		// path only runs where placement just failed, so runs that never
+		// hit capacity are byte-identical.
+		n, err = rt.placeGeneral(d, pin)
+	}
 	if err != nil {
 		ps.SetAttr("error", err.Error())
 		ps.Finish()
@@ -417,6 +425,47 @@ func (rt *Runtime) release(p *sim.Proc, inst *instance) {
 		}
 		rt.destroy(p, victim)
 	}
+}
+
+// evictForPlacement frees one instance slot for a cold start of d that
+// placement just rejected for capacity: the first supporting, live,
+// capacity-full PU (same kind-then-PU-ID order as placeGeneral) with a
+// non-empty warm pool gives up its keep-alive victim. Reports whether a
+// slot was freed. Density-pressure reclaim — idle warm instances yield to
+// demand instead of pinning the PU's instance cap forever.
+func (rt *Runtime) evictForPlacement(p *sim.Proc, d *Deployment, pin hw.PUID) bool {
+	try := func(n *puNode) bool {
+		if n == nil || n.cr == nil || rt.puDown(n.pu.ID) || n.liveCount < n.capacity {
+			return false
+		}
+		victim := rt.cache.victim(n)
+		if victim == nil {
+			return false
+		}
+		if o := rt.obs; o != nil {
+			o.Counter("molecule_density_evictions_total", puLabel(n.pu.ID), obs.L("fn", victim.fn)).Inc()
+		}
+		rt.destroy(p, victim)
+		return true
+	}
+	if pin >= 0 {
+		n := rt.nodes[pin]
+		if n == nil || !d.SupportsKind(n.pu.Kind) {
+			return false
+		}
+		return try(n)
+	}
+	for _, kind := range generalKinds {
+		if !d.SupportsKind(kind) {
+			continue
+		}
+		for _, pu := range rt.Machine.PUsOfKind(kind) {
+			if try(rt.nodes[pu.ID]) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // destroy deletes a warm instance's sandbox.

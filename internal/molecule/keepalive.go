@@ -98,5 +98,37 @@ func (ka *keepAlive) admit(fn string, n *puNode) []*instance {
 	return evict
 }
 
+// victim picks the idle warm instance the policy would give up from node
+// n's pools — lowest greedy-dual priority first, name-sorted tiebreak, the
+// same choice admit makes under the per-PU cap — without removing it from
+// the pool (the caller destroys it, which unpools). Nil when every pool is
+// empty. Used by density-pressure eviction: a cold start that would fail
+// on a capacity-full PU reclaims one idle instance instead.
+func (ka *keepAlive) victim(n *puNode) *instance {
+	names := make([]string, 0, len(n.warm))
+	for name, pool := range n.warm {
+		if len(pool) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	victimFn := ""
+	victimPri := 0.0
+	for _, name := range names {
+		pri := ka.stat(name).pri
+		if victimFn == "" || pri < victimPri {
+			victimFn, victimPri = name, pri
+		}
+	}
+	if victimFn == "" {
+		return nil
+	}
+	// Same greedy-dual aging as admit: the clock never rewinds.
+	if victimPri > ka.clock {
+		ka.clock = victimPri
+	}
+	return n.warm[victimFn][0]
+}
+
 // Priority exposes a function's current cache priority (for tests).
 func (ka *keepAlive) Priority(fn string) float64 { return ka.stat(fn).pri }

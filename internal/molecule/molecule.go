@@ -425,20 +425,22 @@ func (rt *Runtime) SetCapacity(id hw.PUID, capacity int) {
 }
 
 // Capacity reports the total instance capacity of all general-purpose PUs
-// (the Fig 2a density metric).
+// (the Fig 2a density metric). Alloc-free: the cluster gateway calls this
+// on its scheduling hotpath.
 func (rt *Runtime) Capacity() int {
 	total := 0
-	for _, n := range rt.orderedNodes() {
-		total += n.capacity
+	for _, id := range rt.order {
+		total += rt.nodes[id].capacity
 	}
 	return total
 }
 
 // LiveInstances reports currently-placed instances across the machine.
+// Alloc-free for the same reason as Capacity.
 func (rt *Runtime) LiveInstances() int {
 	total := 0
-	for _, n := range rt.orderedNodes() {
-		total += n.liveCount
+	for _, id := range rt.order {
+		total += rt.nodes[id].liveCount
 	}
 	return total
 }

@@ -42,6 +42,16 @@ func (p PlacementPolicy) String() string {
 	return fmt.Sprintf("PlacementPolicy(%d)", int(p))
 }
 
+// firstIndex returns the first position of s in names.
+func firstIndex(names []string, s string) int {
+	for i, n := range names {
+		if n == s {
+			return i
+		}
+	}
+	return -1
+}
+
 // candidatePUs returns the general-purpose PUs (in preference order) that
 // can host deployment d under the policy.
 func (rt *Runtime) candidatePUs(d *Deployment, policy PlacementPolicy) []hw.PUID {
@@ -100,6 +110,59 @@ func (rt *Runtime) PlaceChain(names []string, policy PlacementPolicy) ([]hw.PUID
 				return out, nil
 			}
 		}
+		// Second chance: a PU at capacity can still run the chain when the
+		// capacity is pinned by idle warm instances the chain will reuse.
+		// This scan only runs where placement used to fail outright, so it
+		// cannot change any previously-succeeding placement.
+		for _, pu := range rt.Machine.PUs() {
+			n := rt.nodes[pu.ID]
+			if n == nil || n.cr == nil {
+				continue
+			}
+			supported, need := true, 0
+			for i, d := range deps {
+				if !d.SupportsKind(pu.Kind) {
+					supported = false
+					break
+				}
+				// Count distinct functions with no warm instance here: each
+				// needs a free slot (repeat occurrences reuse the released
+				// instance).
+				if len(n.warm[names[i]]) == 0 && firstIndex(names, names[i]) == i {
+					need++
+				}
+			}
+			// Idle warm instances beyond what the chain itself reuses are
+			// reclaimable: the pinned cold starts evict them on demand
+			// (evictForPlacement), so they count as free slots here.
+			evictable := 0
+			if supported {
+				for fn, pool := range n.warm { //lint:unordered commutative sum of per-pool surpluses; no order-dependent choice
+					keep := 0
+					if firstIndex(names, fn) >= 0 {
+						keep = 1
+					}
+					if len(pool) > keep {
+						evictable += len(pool) - keep
+					}
+				}
+			}
+			// need==0 is accepted even when liveCount overshot capacity
+			// (concurrent cold starts reserve only at start-finish): the
+			// chain then runs purely on warm reuse.
+			if supported && (need == 0 || n.capacity-n.liveCount+evictable >= need) {
+				for i := range out {
+					out[i] = pu.ID
+				}
+				return out, nil
+			}
+			if supported {
+				// The right PU exists but is genuinely full: queueable at a
+				// cluster gateway, so wrap ErrNoCapacity — unlike the
+				// kind-mismatch below, which is a deployment error.
+				return nil, fmt.Errorf("molecule: %w: every PU supporting the whole chain is full", ErrNoCapacity)
+			}
+		}
 		return nil, fmt.Errorf("molecule: no single PU supports the whole chain")
 	case PlaceScatter:
 		// Round-robin across every eligible PU per function.
@@ -107,7 +170,7 @@ func (rt *Runtime) PlaceChain(names []string, policy PlacementPolicy) ([]hw.PUID
 		for i, d := range deps {
 			cands := rt.candidatePUs(d, PlaceFastest)
 			if len(cands) == 0 {
-				return nil, fmt.Errorf("molecule: no capacity for %q", names[i])
+				return nil, fmt.Errorf("molecule: %w for %q", ErrNoCapacity, names[i])
 			}
 			out[i] = cands[rot%len(cands)]
 			rot++
@@ -117,7 +180,7 @@ func (rt *Runtime) PlaceChain(names []string, policy PlacementPolicy) ([]hw.PUID
 		for i, d := range deps {
 			cands := rt.candidatePUs(d, policy)
 			if len(cands) == 0 {
-				return nil, fmt.Errorf("molecule: no capacity for %q", names[i])
+				return nil, fmt.Errorf("molecule: %w for %q", ErrNoCapacity, names[i])
 			}
 			out[i] = cands[0]
 		}
