@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson clusterjson cluster-race shards-race report report-md golden trace-demo attrib-demo examples clean
+.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson clusterjson coldstartjson coldstart-race cluster-race shards-race report report-md golden trace-demo attrib-demo examples clean
 
 all: check
 
@@ -43,6 +43,7 @@ bench:
 # (ns/op and allocs/op), and a warm Molecule invocation end to end.
 microbench:
 	$(GO) test ./internal/sim -bench 'Kernel|ChanPingPong' -benchmem -run xxx
+	$(GO) test ./internal/mem -bench 'ForkFanout' -benchmem -run xxx
 	$(GO) test ./internal/xpu -bench 'FIFOWrite' -benchmem -run xxx
 	$(GO) test ./internal/molecule -bench 'InvokeWarm' -benchmem -run xxx
 
@@ -51,6 +52,7 @@ microbench:
 # -soak run doubles as a fingerprint-equality check across shard counts.
 bench-smoke:
 	$(GO) test ./internal/sim -bench 'Kernel|ChanPingPong' -benchtime 1x -run xxx
+	$(GO) test ./internal/mem -bench 'ForkFanout' -benchtime 1x -run xxx
 	$(GO) test ./internal/xpu -bench 'FIFOWrite' -benchtime 1x -run xxx
 	$(GO) test ./internal/molecule -bench 'InvokeWarm' -benchtime 1x -run xxx
 	$(GO) run ./cmd/molecule-bench -soak - -soak-inv 2000
@@ -74,6 +76,18 @@ simjson:
 # {1,2,4}, byte-identity enforced across kernel worker counts per point.
 clusterjson:
 	$(GO) run ./cmd/molecule-bench -cluster BENCH_cluster.json
+
+# Regenerate the cold-start snapshot (BENCH_coldstart.json): the seeded
+# Zipf stream of forced-cold invocations through flat cfork and the zygote
+# forest, byte-identity enforced across kernel worker counts per arm.
+coldstartjson:
+	$(GO) run ./cmd/molecule-bench -coldstart BENCH_coldstart.json
+
+# The zygote forest under the race detector (the fitter runs on background
+# procs) plus a small -coldstart smoke (table to stdout, no snapshot).
+coldstart-race:
+	$(GO) test -race -count=1 -run 'Zygote|ColdStart|Release|ForkFanout' ./internal/lang/ ./internal/molecule/ ./internal/mem/ ./internal/bench/
+	$(GO) run ./cmd/molecule-bench -coldstart - -coldstart-inv 120
 
 # The cluster control plane under the race detector plus the scaling-sweep
 # smoke (tables to stdout, no snapshot rewrite).

@@ -174,6 +174,37 @@ func soakShardCounts(machines int) []int {
 	return counts
 }
 
+// coldStartWorkerCounts is the determinism sweep for -coldstart: the classic
+// sequential kernel, small sharded-driver counts, and every core.
+func coldStartWorkerCounts() []int {
+	counts := []int{0, 1, 2, 4}
+	if n := runtime.NumCPU(); n > counts[len(counts)-1] {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func runColdStart(path string, inv int) error {
+	workers := coldStartWorkerCounts()
+	res, err := bench.ColdStartSweep(inv, workers)
+	if err != nil {
+		return err
+	}
+	bench.ColdStartTable(res).Fprint(os.Stdout)
+	if path == "-" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 func runShardSoak(path string, machines, inv int) error {
 	counts := soakShardCounts(machines)
 	points, err := bench.ShardSoakSweep(machines, inv, counts)
@@ -234,9 +265,19 @@ func main() {
 	soakInv := flag.Int("soak-inv", 50000, "with -soak: invocations per machine")
 	clusterPath := flag.String("cluster", "", "run the boss/worker cluster scaling soak, print its table, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
 	clusterMachines := flag.Int("cluster-machines", 4, "with -cluster: max machine count (sweep doubles 1,2,4,... up to this)")
+	coldstartPath := flag.String("coldstart", "", "run the flat-cfork vs zygote-forest cold-start comparison, print its table, and write a JSON snapshot to this `file` (\"-\" = stdout only), then exit")
+	coldstartInv := flag.Int("coldstart-inv", 600, "with -coldstart: forced-cold invocations per arm")
 	flag.Parse()
 
 	bench.SetSimShards(*shards)
+
+	if *coldstartPath != "" {
+		if err := runColdStart(*coldstartPath, *coldstartInv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *clusterPath != "" {
 		if err := runClusterSoak(*clusterPath, *clusterMachines); err != nil {

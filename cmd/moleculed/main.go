@@ -70,6 +70,8 @@ func main() {
 	invokeTimeout := flag.Duration("invoke-timeout", 0, "per-attempt invocation timeout in virtual time (0 = no timeout)")
 	retries := flag.Int("retries", 0, "max retries for transiently-failed invocations")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial retry backoff in virtual time (doubles per retry; default 1ms)")
+	zygoteTree := flag.Bool("zygote-tree", false, "grow package-aware zygote template forests per (runtime, PU): cold starts fork from the deepest pre-warmed template covering the function's package manifest and pay only residual imports")
+	zygoteBudget := flag.Int("zygote-budget-mb", 0, "with -zygote-tree: page budget for specialized templates per forest in MB (0 = default, negative = root-only)")
 	flag.Parse()
 
 	opts := molecule.DefaultOptions()
@@ -78,6 +80,8 @@ func main() {
 		MaxRetries:    *retries,
 		RetryBackoff:  *retryBackoff,
 	}
+	opts.ZygoteTree = *zygoteTree
+	opts.ZygoteBudgetMB = *zygoteBudget
 	if *clusterN > 0 {
 		if *faultSpec != "" || *slo != "" || *trace || *metrics || *fnFile != "" {
 			log.Fatal("moleculed: -fault/-slo/-trace/-metrics/-functions are single-machine flags; not yet supported with -cluster")

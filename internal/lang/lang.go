@@ -119,6 +119,21 @@ func (inst *Instance) LoadFunction(p *sim.Proc, funcID string) {
 	inst.OS.Touch(p, inst.Proc, inst.baseVPN, dirty)
 }
 
+// ImportResidual imports the packages the instance's template ancestor did
+// not already hold, plus the function's private import tail — initialization
+// work (app code, config, connections) no template can pre-run. Import CPU
+// time scales with the PU's startup factor like every startup-path cost;
+// the imported packages map fresh private pages.
+func (inst *Instance) ImportResidual(p *sim.Proc, residual PkgSet, tail time.Duration) {
+	f := startupScale(inst.OS.PU)
+	if d := residual.ImportCost() + tail; d > 0 {
+		p.Sleep(scaled(d, f))
+	}
+	if pages := residual.ImportPages(); pages > 0 {
+		inst.Proc.AS.Map(pages)
+	}
+}
+
 // MergeThreads collapses the runtime's auxiliary threads into the main one,
 // saving their contexts in memory, so the process becomes plainly forkable.
 func (inst *Instance) MergeThreads(p *sim.Proc) {
@@ -173,6 +188,11 @@ type CforkOptions struct {
 	// zero-cost placeholder namespace/cgroup pair is fabricated.
 	Namespace *localos.Namespace
 	Cgroup    *localos.Cgroup
+	// KeepTemplateMerged leaves the template parked single-threaded after
+	// the fork instead of re-expanding its auxiliary threads. Zygote-tree
+	// templates stay merged between forks (SOCK-style), so consecutive
+	// forks skip the merge step entirely.
+	KeepTemplateMerged bool
 }
 
 // Cfork produces a new function instance from a template via the paper's
@@ -224,7 +244,9 @@ func Cfork(p *sim.Proc, tmpl *Instance, funcID string, opts CforkOptions) (*Inst
 
 	// 4. Re-expand threads in both template and child.
 	child.ExpandThreads(p)
-	tmpl.ExpandThreads(p)
+	if !opts.KeepTemplateMerged {
+		tmpl.ExpandThreads(p)
+	}
 
 	// 5. Load the function's code and connect back to Molecule.
 	child.COWPending = true

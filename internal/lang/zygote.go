@@ -1,0 +1,542 @@
+// Zygote forest: a tree of pre-warmed templates specialized by package set.
+//
+// The root of each tree is the runtime's generic cfork template. Children
+// fork from their parent via the same OS COW fork as cfork itself, then
+// import the packages the parent does not already hold — so a node's pages
+// are shared with its whole subtree and every instance forked from it, and
+// the *incremental* memory cost of a node is only its residual imports.
+//
+// A cold start resolves the function's package set to the deepest tree node
+// whose packages are a subset of the function's (forking from a superset
+// would execute imports the function never asked for — import side effects
+// make that unsafe, so zygotes only ever under-approximate). The cold start
+// then pays only the residual imports plus the function's private tail.
+//
+// The fitter (Fit) grows and prunes the tree online against the observed
+// per-function import mix under a configurable page budget. It is seeded
+// and virtual-time driven: candidate scoring, tie-breaking, insertion and
+// pruning order are all derived from canonical sorted forms and a splitmix64
+// stream, never from Go map iteration or wall-clock time, so the fitted
+// shape is byte-identical at every kernel worker count.
+//
+// Zygote templates park merged (single-threaded, forkable) like SOCK's
+// zygote processes: the merge cost is paid once when the node boots, and
+// forks from it skip the merge entirely.
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/localos"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// ZygoteNode is one pre-warmed template in the tree.
+type ZygoteNode struct {
+	ID   int
+	Pkgs PkgSet // dependency-closed package set this template has imported
+	Inst *Instance
+
+	Parent   *ZygoteNode
+	children []*ZygoteNode
+
+	// residualPages is the node's incremental footprint: pages of the
+	// packages it imported beyond its parent. Budget accounting charges
+	// only this, because everything else is shared upward.
+	residualPages int
+
+	pins    int  // in-flight forks from this node; retire defers while > 0
+	retired bool // no longer resolvable; exits when pins drain
+	dead    bool // instance exited
+	hits    int  // resolutions since the last fit round
+	idle    int  // consecutive fit rounds with zero hits
+}
+
+// Depth returns the node's distance from the root.
+func (n *ZygoteNode) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// ZygoteTreeConfig sets the fitter's knobs.
+type ZygoteTreeConfig struct {
+	// BudgetPages caps the summed residual pages of specialized nodes.
+	// Zero means no specialized nodes ever grow: the tree stays root-only,
+	// which is exactly flat cfork plus full imports on the child.
+	BudgetPages int
+	// FitInterval is how many observed cold starts trigger a fit round.
+	FitInterval int
+	// MinHits is the demand floor below which a candidate set is ignored.
+	MinHits int
+	// MaxGrowPerFit bounds how many nodes one fit round may boot.
+	MaxGrowPerFit int
+	// Seed drives the fitter's deterministic tie-breaking.
+	Seed uint64
+}
+
+// DefaultZygoteTreeConfig returns the checked-in fitter defaults.
+func DefaultZygoteTreeConfig() ZygoteTreeConfig {
+	return ZygoteTreeConfig{
+		BudgetPages:   params.ZygoteBudgetMB << 20 / params.PageSize,
+		FitInterval:   params.ZygoteFitInterval,
+		MinHits:       params.ZygoteMinHits,
+		MaxGrowPerFit: params.ZygoteMaxGrowPerFit,
+		Seed:          1,
+	}
+}
+
+// ZygoteTree is a per-(runtime, PU) forest of package-specialized templates.
+type ZygoteTree struct {
+	Spec Spec
+	OS   *localos.OS
+	Root *ZygoteNode
+	Cfg  ZygoteTreeConfig
+
+	nextID    int
+	usedPages int
+	live      int // specialized (non-root) live nodes
+	cold      int // observed cold starts since the last fit round
+	fitting   bool
+	gen       int // bumped by Reset; aborts in-flight fit rounds
+	rounds    int
+
+	obs     map[string]*zygoteObs
+	obsKeys []string // insertion-ordered keys of obs (no map iteration)
+}
+
+type zygoteObs struct {
+	pkgs  PkgSet
+	count int
+}
+
+// NewZygoteTree wraps an existing generic template as the root of a tree.
+func NewZygoteTree(os *localos.OS, root *Instance, cfg ZygoteTreeConfig) *ZygoteTree {
+	if cfg.FitInterval <= 0 {
+		cfg.FitInterval = params.ZygoteFitInterval
+	}
+	if cfg.MinHits <= 0 {
+		cfg.MinHits = params.ZygoteMinHits
+	}
+	if cfg.MaxGrowPerFit <= 0 {
+		cfg.MaxGrowPerFit = params.ZygoteMaxGrowPerFit
+	}
+	t := &ZygoteTree{
+		Spec: root.Spec,
+		OS:   os,
+		Cfg:  cfg,
+		obs:  make(map[string]*zygoteObs),
+	}
+	t.Root = &ZygoteNode{ID: 0, Inst: root}
+	t.nextID = 1
+	return t
+}
+
+// Resolve returns the deepest live node whose package set is a subset of
+// pkgs — the best ancestor to fork this function from — and records the
+// hit for the fitter. Runs on every zygote cold start.
+//
+//molecule:hotpath
+func (t *ZygoteTree) Resolve(pkgs PkgSet) *ZygoteNode {
+	n := t.resolveNode(pkgs)
+	n.hits++
+	return n
+}
+
+// resolveNode is Resolve without hit accounting (used by the fitter).
+//
+//molecule:hotpath
+func (t *ZygoteTree) resolveNode(pkgs PkgSet) *ZygoteNode {
+	n := t.Root
+	for {
+		var best *ZygoteNode
+		var bestCost time.Duration
+		for _, c := range n.children {
+			if c.retired || c.dead || !pkgs.Covers(c.Pkgs) {
+				continue
+			}
+			cost := c.Pkgs.ImportCost()
+			if best == nil || cost > bestCost || (cost == bestCost && c.ID < best.ID) {
+				best, bestCost = c, cost
+			}
+		}
+		if best == nil {
+			return n
+		}
+		n = best
+	}
+}
+
+// Pin marks an in-flight fork from the node, deferring any retire.
+func (t *ZygoteTree) Pin(n *ZygoteNode) { n.pins++ }
+
+// Unpin releases a pin, reaping the node if a retire was deferred on it.
+func (t *ZygoteTree) Unpin(n *ZygoteNode) {
+	n.pins--
+	if n.pins == 0 && n.retired {
+		t.reap(n)
+	}
+}
+
+// Observe records a cold start's package set for the fitter.
+func (t *ZygoteTree) Observe(pkgs PkgSet) {
+	t.cold++
+	if len(pkgs) == 0 {
+		return
+	}
+	k := pkgs.Key()
+	if o, ok := t.obs[k]; ok {
+		o.count++
+		return
+	}
+	t.obs[k] = &zygoteObs{pkgs: pkgs, count: 1}
+	t.obsKeys = append(t.obsKeys, k)
+}
+
+// NeedsFit reports whether enough cold starts accumulated to run a fit
+// round (and none is already in flight). A zero budget never fits: the
+// tree stays root-only, the flat-cfork arm of the comparison.
+func (t *ZygoteTree) NeedsFit() bool {
+	return !t.fitting && t.Cfg.BudgetPages > 0 && t.cold >= t.Cfg.FitInterval
+}
+
+// BeginFit claims the in-flight fit slot; the caller then runs Fit on a
+// background proc.
+func (t *ZygoteTree) BeginFit() { t.fitting = true }
+
+// Grow boots a new specialized template for pkgs as a child of the deepest
+// covering node, paying fork plus residual imports on p. Returns the
+// existing node if one already holds exactly pkgs. A nil node (no error)
+// means the tree was reset while booting and the fresh template was
+// discarded.
+func (t *ZygoteTree) Grow(p *sim.Proc, pkgs PkgSet) (*ZygoteNode, error) {
+	parent := t.resolveNode(pkgs)
+	if parent.Pkgs.Equal(pkgs) {
+		return parent, nil
+	}
+	gen := t.gen
+	residual := pkgs.Residual(parent.Pkgs)
+	id := t.nextID
+	t.nextID++
+	t.Pin(parent)
+	parent.Inst.MergeThreads(p)
+	childProc, err := t.OS.Fork(p, parent.Inst.Proc, fmt.Sprintf("zygote-%s-%d", t.Spec.Kind, id))
+	if err != nil {
+		t.Unpin(parent)
+		return nil, err
+	}
+	inst := &Instance{
+		Spec:       t.Spec,
+		OS:         t.OS,
+		Proc:       childProc,
+		baseVPN:    parent.Inst.baseVPN,
+		IsTemplate: true,
+		merged:     true, // parked single-threaded, ready to fork
+	}
+	inst.ImportResidual(p, residual, 0)
+	t.Unpin(parent)
+	if t.gen != gen || parent.retired || parent.dead {
+		// The tree was reset (PU crash, executor kill) while this template
+		// was booting: discard it, releasing its pages exactly once.
+		t.OS.Exit(childProc)
+		return nil, nil
+	}
+	node := &ZygoteNode{
+		ID:            id,
+		Pkgs:          pkgs,
+		Inst:          inst,
+		Parent:        parent,
+		residualPages: residual.ImportPages(),
+	}
+	parent.children = append(parent.children, node)
+	t.usedPages += node.residualPages
+	t.live++
+	return node, nil
+}
+
+// Retire removes a node from resolution. Its process exits as soon as no
+// fork is in flight from it — exactly once, however the retire and the
+// fork interleave.
+func (t *ZygoteTree) Retire(n *ZygoteNode) {
+	if n == t.Root || n.retired {
+		return
+	}
+	n.retired = true
+	if n.pins == 0 {
+		t.reap(n)
+	}
+}
+
+func (t *ZygoteTree) reap(n *ZygoteNode) {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	t.usedPages -= n.residualPages
+	t.live--
+	n.Inst.Exit()
+	if par := n.Parent; par != nil && !par.dead {
+		for i, c := range par.children {
+			if c == n {
+				par.children = append(par.children[:i], par.children[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Reset retires every specialized node (PU crash or executor kill): the
+// generic root survives, pinned nodes drain before exiting, and any fit
+// round in flight aborts instead of inserting into the dead shape.
+func (t *ZygoteTree) Reset() {
+	t.gen++
+	t.cold = 0
+	for _, n := range t.nodesPostOrder() {
+		t.Retire(n)
+	}
+}
+
+// Fit runs one fit round: score candidate package sets against observed
+// demand, grow the best under the page budget, prune cold leaves, decay
+// the observation counts. Deterministic for a given seed and observation
+// sequence.
+func (t *ZygoteTree) Fit(p *sim.Proc) {
+	defer func() { t.fitting = false }()
+	gen := t.gen
+	t.cold = 0
+	t.rounds++
+
+	type cand struct {
+		key    string
+		pkgs   PkgSet
+		demand int
+		saved  time.Duration
+	}
+	cands := make(map[string]*cand)
+	var order []string
+	add := func(pkgs PkgSet) {
+		if len(pkgs) == 0 {
+			return
+		}
+		k := pkgs.Key()
+		if _, ok := cands[k]; ok {
+			return
+		}
+		cands[k] = &cand{key: k, pkgs: pkgs}
+		order = append(order, k)
+	}
+	for _, k := range t.obsKeys {
+		add(t.obs[k].pkgs)
+	}
+	// Pairwise intersections of observed sets: the shared prefixes worth
+	// hoisting into interior nodes. Intersections of dependency-closed
+	// sets are themselves closed.
+	for i := 0; i < len(t.obsKeys); i++ {
+		for j := i + 1; j < len(t.obsKeys); j++ {
+			add(t.obs[t.obsKeys[i]].pkgs.Intersect(t.obs[t.obsKeys[j]].pkgs))
+		}
+	}
+
+	// Demand for a candidate is the total observed count of sets it can
+	// serve (sets that contain it); saved is the import time a fork from
+	// it would skip relative to today's deepest covering node.
+	accepted := make([]*cand, 0, len(order))
+	estPages := t.usedPages
+	for _, k := range order {
+		c := cands[k]
+		for _, ok := range t.obsKeys {
+			o := t.obs[ok]
+			if o.pkgs.Covers(c.pkgs) {
+				c.demand += o.count
+			}
+		}
+		if c.demand < t.Cfg.MinHits {
+			continue
+		}
+		cover := t.resolveNode(c.pkgs)
+		c.saved = c.pkgs.Residual(cover.Pkgs).ImportCost()
+		if c.saved <= 0 {
+			continue
+		}
+		accepted = append(accepted, c)
+	}
+	score := func(c *cand) float64 {
+		return float64(c.demand) * c.saved.Seconds()
+	}
+	sort.Slice(accepted, func(i, j int) bool {
+		si, sj := score(accepted[i]), score(accepted[j])
+		if si != sj {
+			return si > sj
+		}
+		ti := splitmix64(fnv64a(accepted[i].key) ^ t.Cfg.Seed)
+		tj := splitmix64(fnv64a(accepted[j].key) ^ t.Cfg.Seed)
+		if ti != tj {
+			return ti < tj
+		}
+		return accepted[i].key < accepted[j].key
+	})
+
+	// Select greedily under the budget, then boot cheapest-first so that
+	// subset nodes exist before their supersets and become their parents.
+	grow := make([]*cand, 0, t.Cfg.MaxGrowPerFit)
+	for _, c := range accepted {
+		if len(grow) >= t.Cfg.MaxGrowPerFit {
+			break
+		}
+		need := c.pkgs.Residual(t.resolveNode(c.pkgs).Pkgs).ImportPages()
+		if estPages+need > t.Cfg.BudgetPages {
+			continue
+		}
+		estPages += need
+		grow = append(grow, c)
+	}
+	sort.Slice(grow, func(i, j int) bool {
+		ci, cj := grow[i].pkgs.ImportCost(), grow[j].pkgs.ImportCost()
+		if ci != cj {
+			return ci < cj
+		}
+		return grow[i].key < grow[j].key
+	})
+	for _, c := range grow {
+		if t.gen != gen {
+			return
+		}
+		// Re-resolve at boot time: earlier boots this round may have
+		// created a deeper parent, shrinking the residual.
+		need := c.pkgs.Residual(t.resolveNode(c.pkgs).Pkgs).ImportPages()
+		if t.usedPages+need > t.Cfg.BudgetPages {
+			continue
+		}
+		if _, err := t.Grow(p, c.pkgs); err != nil || t.gen != gen {
+			return
+		}
+	}
+
+	// Prune leaves that went two full rounds without a hit, newest first.
+	nodes := t.nodesPostOrder()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID > nodes[j].ID })
+	for _, n := range nodes {
+		if n == t.Root || n.dead || n.retired {
+			continue
+		}
+		if n.hits == 0 {
+			n.idle++
+		} else {
+			n.idle = 0
+		}
+		n.hits = 0
+		if n.idle >= 2 && len(n.children) == 0 {
+			t.Retire(n)
+		}
+	}
+
+	// Exponential decay keeps the demand profile tracking the recent mix.
+	keep := t.obsKeys[:0]
+	for _, k := range t.obsKeys {
+		o := t.obs[k]
+		o.count /= 2
+		if o.count > 0 {
+			keep = append(keep, k)
+		} else {
+			delete(t.obs, k)
+		}
+	}
+	t.obsKeys = keep
+}
+
+// nodesPostOrder returns every live node, children before parents, in
+// deterministic (insertion) order.
+func (t *ZygoteTree) nodesPostOrder() []*ZygoteNode {
+	var out []*ZygoteNode
+	var walk func(n *ZygoteNode)
+	walk = func(n *ZygoteNode) {
+		for _, c := range n.children {
+			walk(c)
+		}
+		out = append(out, n)
+	}
+	walk(t.Root)
+	return out
+}
+
+// LiveNodes returns the number of live specialized templates (excluding
+// the root).
+func (t *ZygoteTree) LiveNodes() int { return t.live }
+
+// UsedPages returns the summed residual pages of live specialized nodes —
+// the quantity the budget caps.
+func (t *ZygoteTree) UsedPages() int { return t.usedPages }
+
+// Rounds returns how many fit rounds have completed or started.
+func (t *ZygoteTree) Rounds() int { return t.rounds }
+
+// LeakedNodes counts retired nodes whose process never exited — pinned
+// forever by a lost fork. Always zero unless refcounting broke.
+func (t *ZygoteTree) LeakedNodes() int {
+	n := 0
+	for _, node := range t.nodesPostOrder() {
+		if node.retired && !node.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// TemplatePSSPages sums the proportional set size of every live template
+// in the tree, root included. Shared ancestor pages split across sharers,
+// so a deep tree costs far less than node-count × footprint.
+func (t *ZygoteTree) TemplatePSSPages() float64 {
+	var pss float64
+	for _, n := range t.nodesPostOrder() {
+		if !n.dead && !n.retired {
+			pss += n.Inst.Proc.AS.PSSPages()
+		}
+	}
+	return pss
+}
+
+// ShapeString renders the live tree canonically — the fingerprint the
+// determinism suite compares across kernel worker counts.
+func (t *ZygoteTree) ShapeString() string {
+	var b strings.Builder
+	var walk func(n *ZygoteNode, depth int)
+	walk = func(n *ZygoteNode, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "#%d {%s} pages=%d\n", n.ID, n.Pkgs.Key(), n.residualPages)
+		for _, c := range n.children {
+			if !c.dead && !c.retired {
+				walk(c, depth+1)
+			}
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// fnv64a is the FNV-1a hash of a string (no dependency on hash/fnv's
+// allocating writer API).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the same mixing function the runtime's jitter uses: a
+// seeded, allocation-free source of deterministic tie-breaking bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

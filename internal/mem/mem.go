@@ -40,6 +40,11 @@ type mapping struct {
 type AddressSpace struct {
 	maps []mapping
 	next int // next unused virtual page number for Map allocations
+	// released guards the refcount decrement in Release: an address space
+	// can be torn down from more than one path (keep-alive eviction vs an
+	// in-flight fork's error cleanup), and decrementing shared extents
+	// twice would silently corrupt every sharer's PSS.
+	released bool
 }
 
 // NewAddressSpace returns an empty address space.
@@ -90,6 +95,7 @@ func (as *AddressSpace) Map(n int) int {
 		// the list sorted.
 		as.maps = append(as.maps, mapping{vpn: start, n: n, off: 0, ext: newExtent(n)})
 		as.next += n
+		as.released = false // mapping into a released space revives it
 	}
 	return start
 }
@@ -224,6 +230,7 @@ func (as *AddressSpace) demandPage(i, start, end int) {
 	if end > as.next {
 		as.next = end
 	}
+	as.released = false
 }
 
 // splice2 inserts a mapping before index i (without replacing anything).
@@ -234,8 +241,14 @@ func (as *AddressSpace) splice2(i int, m mapping) {
 }
 
 // Release drops every page mapping, decrementing shared reference counts.
-// The address space is empty (but reusable) afterwards.
+// The address space is empty (but reusable) afterwards. Release is
+// idempotent: a second call is a no-op, so racing teardown paths (keep-alive
+// eviction vs fork-error cleanup) cannot double-decrement shared extents.
 func (as *AddressSpace) Release() {
+	if as.released {
+		return
+	}
+	as.released = true
 	for _, m := range as.maps {
 		refs := m.ext.refs[m.off : m.off+m.n]
 		for i := range refs {
@@ -244,6 +257,10 @@ func (as *AddressSpace) Release() {
 	}
 	as.maps = nil
 }
+
+// Released reports whether the address space has been released and not
+// mapped into since.
+func (as *AddressSpace) Released() bool { return as.released }
 
 // RSSPages returns the resident set size in pages: every page mapped into
 // this address space, shared or not.

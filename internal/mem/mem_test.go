@@ -154,3 +154,67 @@ func TestForkRSSProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Release must be idempotent: keep-alive eviction and fork-error cleanup can
+// both reach a template instance's teardown, and a double decrement would
+// corrupt every sharer's refcounts (PSS drifts, later Releases underflow).
+func TestReleaseIdempotent(t *testing.T) {
+	parent := NewAddressSpace()
+	parent.Map(100)
+	child := parent.Fork()
+	if parent.PSSPages() != 50 {
+		t.Fatalf("shared PSS = %v, want 50", parent.PSSPages())
+	}
+	child.Release()
+	if !child.Released() {
+		t.Error("child not marked released")
+	}
+	child.Release() // second call must be a no-op
+	child.Release()
+	if got := parent.PSSPages(); got != 100 {
+		t.Errorf("parent PSS after double release = %v, want 100", got)
+	}
+	if got := parent.RSSPages(); got != 100 {
+		t.Errorf("parent RSS after double release = %v, want 100", got)
+	}
+	// A released space is reusable: mapping in fresh pages revives it.
+	child.Map(10)
+	if child.Released() {
+		t.Error("mapped space still marked released")
+	}
+	if got := child.PSSPages(); got != 10 {
+		t.Errorf("revived child PSS = %v, want 10", got)
+	}
+}
+
+// Release on a revived space must drop only the new mappings.
+func TestReleaseReviveRelease(t *testing.T) {
+	parent := NewAddressSpace()
+	parent.Map(64)
+	child := parent.Fork()
+	child.Release()
+	child.Map(8)
+	child.Release()
+	if got := parent.PSSPages(); got != 64 {
+		t.Errorf("parent PSS = %v, want 64", got)
+	}
+	if got := child.RSSPages(); got != 0 {
+		t.Errorf("child RSS = %v, want 0", got)
+	}
+}
+
+// Fork is on the template fan-out hot path: pin its allocation count so a
+// refcount-layout change cannot silently turn cold starts quadratic.
+func TestForkAllocsPinned(t *testing.T) {
+	tmpl := NewAddressSpace()
+	tmpl.Map(3072)
+	tmpl.Write(0, 3072)
+	allocs := testing.AllocsPerRun(200, func() {
+		c := tmpl.Fork()
+		c.Release()
+	})
+	// One alloc for the AddressSpace, one for its mapping slice.
+	if allocs > 2 {
+		t.Errorf("Fork+Release = %.1f allocs, want <= 2", allocs)
+	}
+}

@@ -330,11 +330,16 @@ func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID, parent *ob
 	if !rt.Opts.UseCfork && rt.Opts.Startup == StartupSnapshot {
 		return rt.restoreFromSnapshot(p, d, n)
 	}
+	zygote := rt.zygoteOn()
 	if rt.Opts.UseCfork {
 		// Template boot is a one-time cost per (PU, language), off the
 		// per-request critical path in steady state; it is charged here on
 		// first use.
-		if _, err := n.cr.EnsureTemplate(p, d.Fn.Lang); err != nil {
+		if zygote {
+			if _, err := n.cr.EnsureForest(p, d.Fn.Lang); err != nil {
+				return nil, err
+			}
+		} else if _, err := n.cr.EnsureTemplate(p, d.Fn.Lang); err != nil {
 			return nil, err
 		}
 	}
@@ -342,12 +347,19 @@ func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID, parent *ob
 	id := fmt.Sprintf("c-%s-%d-%d", d.Fn.Name, n.pu.ID, n.sandboxSeq)
 	p.Tracef("coldstart %s: creating sandbox %s on PU %d", d.Fn.Name, id, n.pu.ID)
 	cs := rt.obs.Span(parent, "sandbox.create", int(n.pu.ID))
-	if err := sandbox.CreateOne(p, n.cr, sandbox.Spec{ID: id, FuncID: d.Fn.Name, Lang: d.Fn.Lang}); err != nil {
+	if err := sandbox.CreateOne(p, n.cr, sandbox.Spec{ID: id, FuncID: d.Fn.Name, Lang: d.Fn.Lang, Pkgs: d.Pkgs}); err != nil {
 		cs.Finish()
 		return nil, err
 	}
 	cs.Finish()
-	ss := rt.obs.Span(parent, "sandbox.start", int(n.pu.ID))
+	// Under the zygote forest, the start is a fork from the resolved
+	// ancestor template; attribution splits it from the residual imports
+	// paid right after, so the breakdown shows where a fitted tree saves.
+	startSpan := "sandbox.start"
+	if zygote {
+		startSpan = "coldstart.ancestor"
+	}
+	ss := rt.obs.Span(parent, startSpan, int(n.pu.ID))
 	if err := sandbox.StartOne(p, n.cr, id); err != nil {
 		ss.Finish()
 		// Don't leak the created-but-never-started sandbox: a failed start
@@ -357,13 +369,21 @@ func (rt *Runtime) coldStart(p *sim.Proc, d *Deployment, pin hw.PUID, parent *ob
 	}
 	ss.Finish()
 	p.Tracef("coldstart %s: sandbox %s running", d.Fn.Name, id)
+	sb := n.cr.Sandbox(id)
+	if zygote {
+		// Pay the imports the ancestor template did not pre-run, plus the
+		// function's private tail. A root-only forest (flat cfork) pays
+		// the whole manifest here — exactly DepImport by calibration.
+		rs := rt.obs.Span(parent, "coldstart.residual", int(n.pu.ID))
+		sb.Inst.ImportResidual(p, sb.Residual, d.PkgTail)
+		rs.Finish()
+	}
 	// Dedicated templates preload each hot function's dependencies (§4.2),
 	// keeping the import off the critical path; plain boots — and cforks
 	// from generic templates — pay it.
-	if !rt.Opts.UseCfork || rt.Opts.GenericTemplates {
+	if !rt.Opts.UseCfork || (rt.Opts.GenericTemplates && !zygote) {
 		p.Sleep(n.pu.StartupTime(d.Fn.DepImport))
 	}
-	sb := n.cr.Sandbox(id)
 	n.liveCount++
 	// Replenish the container pool in the background so the FuncContainer
 	// optimization holds for the next cold start.

@@ -81,6 +81,23 @@ type Options struct {
 	// children then import the function's dependencies on the critical
 	// path instead of inheriting them from a per-function template.
 	GenericTemplates bool
+	// ZygoteTree replaces the single generic template per runtime with a
+	// package-aware zygote forest (SOCK/Forklift lineage): cold starts fork
+	// from the deepest pre-warmed template covering the function's package
+	// manifest and pay only the residual imports plus the function's
+	// private tail. Requires UseCfork; off (the default) leaves the flat
+	// cfork path literally untouched.
+	ZygoteTree bool
+	// ZygoteBudgetMB caps the summed residual pages of specialized
+	// templates per (runtime, PU). Zero picks params.ZygoteBudgetMB;
+	// negative means no budget at all — the forest stays root-only, which
+	// is flat cfork plus full on-child imports (the comparison baseline).
+	ZygoteBudgetMB int
+	// ZygoteFitInterval is how many observed cold starts trigger one
+	// background fit round (0 = params.ZygoteFitInterval).
+	ZygoteFitInterval int
+	// ZygoteSeed seeds the fitter's deterministic tie-breaking (0 = 1).
+	ZygoteSeed uint64
 	// JitterPct adds deterministic per-request latency variation (e.g. 0.08
 	// = ±8%), hash-derived from the request sequence so runs stay
 	// reproducible. Zero (the default) disables it; calibration tests rely
@@ -233,6 +250,9 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 		o.Metrics.SetHelp("sandbox_pool_hits_total", "Sandbox creations served from the prepared container pool.")
 		o.Metrics.SetHelp("sandbox_pool_misses_total", "Sandbox creations that built a container on the critical path.")
 		o.Metrics.SetHelp("sandbox_cow_faults_total", "Handler invocations that paid copy-on-write faults after cfork.")
+		o.Metrics.SetHelp("sandbox_zygote_forks_total", "Sandboxes forked from a zygote-forest template (any depth).")
+		o.Metrics.SetHelp("sandbox_zygote_ancestor_hits_total", "Zygote forks that resolved to a specialized (non-root) template.")
+		o.Metrics.SetHelp("sandbox_zygote_resets_total", "Zygote forests reset by executor kill or PU crash.")
 		o.Metrics.SetHelp("molecule_invoke_retries_total", "Invocation attempts retried after a transient failure, by function.")
 		o.Metrics.SetHelp("molecule_invoke_timeouts_total", "Invocation attempts abandoned by the per-invoke timeout, by function.")
 		o.Metrics.SetHelp("molecule_failovers_total", "Pinned invocations re-placed onto a surviving PU after infrastructure failure.")
@@ -285,6 +305,10 @@ func New(p *sim.Proc, m *hw.Machine, reg *workloads.Registry, opts Options) (*Ru
 		cr := sandbox.NewContainerRuntime(os)
 		cr.UseCfork = opts.UseCfork
 		cr.CpusetMutexPatch = opts.CpusetMutexPatch
+		if opts.ZygoteTree && opts.UseCfork {
+			cr.UseZygoteTree = true
+			cr.ZygoteCfg = zygoteConfig(opts)
+		}
 		rt.nodes[pu.ID] = &puNode{
 			pu: pu, node: node, os: os, cr: cr,
 			warm:      make(map[string][]*instance),
@@ -347,6 +371,30 @@ func New(p *sim.Proc, m *hw.Machine, reg *workloads.Registry, opts Options) (*Ru
 		}
 	}
 	return rt, nil
+}
+
+// zygoteConfig maps the runtime options onto the forest's fitter knobs.
+func zygoteConfig(opts Options) lang.ZygoteTreeConfig {
+	cfg := lang.DefaultZygoteTreeConfig()
+	switch {
+	case opts.ZygoteBudgetMB < 0:
+		cfg.BudgetPages = 0 // root-only: the flat-cfork comparison arm
+	case opts.ZygoteBudgetMB > 0:
+		cfg.BudgetPages = opts.ZygoteBudgetMB << 20 / params.PageSize
+	}
+	if opts.ZygoteFitInterval > 0 {
+		cfg.FitInterval = opts.ZygoteFitInterval
+	}
+	if opts.ZygoteSeed != 0 {
+		cfg.Seed = opts.ZygoteSeed
+	}
+	return cfg
+}
+
+// zygoteOn reports whether the zygote forest drives this runtime's cold
+// starts.
+func (rt *Runtime) zygoteOn() bool {
+	return rt.Opts.ZygoteTree && rt.Opts.UseCfork
 }
 
 // densityCapacity models how many concurrent instances a PU's resources
@@ -473,6 +521,9 @@ func (rt *Runtime) KillExecutor(p *sim.Proc, id hw.PUID) error {
 		rt.warmTotal[fn] -= len(pool)
 		delete(n.warm, fn)
 	}
+	// Specialized zygote templates are the executor's children too; the
+	// generic root template survives, like the flat path's template.
+	n.cr.ResetForests()
 	return nil
 }
 
@@ -543,6 +594,9 @@ func (rt *Runtime) reapCrashed(p *sim.Proc) {
 			rt.warmTotal[fn] -= len(n.warm[fn])
 			delete(n.warm, fn)
 		}
+		// Specialized zygote templates died with the PU; pinned nodes
+		// drain first so address-space refcounts release exactly once.
+		n.cr.ResetForests()
 		// The executor died with its PU; it is respawned by the next
 		// command once the PU revives.
 		if n.pu.ID != rt.hostID {

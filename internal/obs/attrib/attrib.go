@@ -64,6 +64,14 @@ const (
 	// StageColdInit is sandbox start plus dependency import and accelerator
 	// image/kernel loading — cold-start time that is not the fork itself.
 	StageColdInit Stage = "coldstart.init"
+	// StageColdAncestor is zygote-forest start time: the fork from the
+	// resolved ancestor template (resolution + cfork + container join).
+	// Zero unless the runtime runs with ZygoteTree.
+	StageColdAncestor Stage = "coldstart.ancestor"
+	// StageColdResidual is the residual package imports a zygote cold
+	// start pays beyond its ancestor, plus the function's private tail.
+	// The fitter's whole job is moving time out of this bucket.
+	StageColdResidual Stage = "coldstart.residual"
 	// StageNIPCLocal is reserved for same-PU IPC transfer time. No current
 	// span site emits it: local FIFO hops inside chains are not spanned, and
 	// remoteCommand only spans cross-link commands. It stays in the taxonomy
@@ -86,7 +94,8 @@ const (
 // storage index of StageDurations.
 var stageOrder = [...]Stage{
 	StageQueueWait, StageDispatch, StagePlacement, StageColdFork,
-	StageColdInit, StageNIPCLocal, StageNIPCCross, StageHandler,
+	StageColdInit, StageColdAncestor, StageColdResidual,
+	StageNIPCLocal, StageNIPCCross, StageHandler,
 	StageRetryBackoff, StageOther,
 }
 
@@ -148,6 +157,10 @@ func selfStage(name string) Stage {
 		return StageColdFork
 	case "sandbox.acquire", "sandbox.start", "fpga.extend_image", "gpu.load_kernel":
 		return StageColdInit
+	case "coldstart.ancestor":
+		return StageColdAncestor
+	case "coldstart.residual":
+		return StageColdResidual
 	case "nipc.command":
 		return StageNIPCCross
 	case "handler":

@@ -306,6 +306,32 @@ const (
 )
 
 // ---------------------------------------------------------------------------
+// Zygote forest (package-aware cfork templates — SOCK/Forklift lineage).
+// These extend the Fig 11a model: dependency import decomposes per package
+// (catalog in internal/lang/packages.go), and a fitted tree of specialized
+// templates lets a cold start skip the imports its ancestor already ran.
+// ---------------------------------------------------------------------------
+
+const (
+	// ZygoteBudgetMB caps the summed *residual* (incremental, unshared)
+	// pages of specialized templates per (runtime, PU). The Python catalog
+	// totals ~71MB; 48MB forces the fitter to choose.
+	ZygoteBudgetMB = 48
+
+	// ZygoteFitInterval is how many observed cold starts trigger one
+	// background fit round.
+	ZygoteFitInterval = 16
+
+	// ZygoteMinHits is the observed-demand floor below which a candidate
+	// package set is not worth a template.
+	ZygoteMinHits = 3
+
+	// ZygoteMaxGrowPerFit bounds how many templates one fit round boots,
+	// keeping each round's background work small and incremental.
+	ZygoteMaxGrowPerFit = 4
+)
+
+// ---------------------------------------------------------------------------
 // Commercial baselines (Fig 9). Closed platforms modeled by their reported
 // latency; ratios in §6.3: Molecule 37-46x startup, 68-300x comms better;
 // Molecule-homo 5-6x startup, 4-19x comms better.

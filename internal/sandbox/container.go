@@ -20,6 +20,14 @@ type ContainerSandbox struct {
 	// per-request COW fault overhead, §6.6).
 	Forked bool
 
+	// Residual is the part of the spec's package manifest the zygote
+	// ancestor this sandbox forked from had not imported; the runtime's
+	// cold-start path pays for it after Start. Empty outside zygote mode.
+	Residual lang.PkgSet
+	// ZygoteDepth is the tree depth of the template the instance forked
+	// from (0 = the generic root, i.e. flat cfork).
+	ZygoteDepth int
+
 	ns *localos.Namespace
 	cg *localos.Cgroup
 }
@@ -63,7 +71,18 @@ type ContainerRuntime struct {
 	// failure never consumes a prepared container.
 	Faults FaultInjector
 
+	// UseZygoteTree replaces the single template per runtime with a fitted
+	// zygote forest: Start forks from the deepest template whose package
+	// set the spec's manifest covers. Requires UseCfork.
+	UseZygoteTree bool
+	// ZygoteCfg carries the forest's budget/fitter knobs; the zero value
+	// is replaced by lang.DefaultZygoteTreeConfig at first use except for
+	// BudgetPages, which is taken as-is (zero budget = root-only forest,
+	// the flat-cfork arm of the comparison).
+	ZygoteCfg lang.ZygoteTreeConfig
+
 	templates map[lang.Kind]*lang.Instance
+	forest    map[lang.Kind]*lang.ZygoteTree
 	pool      []*preparedContainer // pre-initialized function containers
 	sandboxes map[string]*ContainerSandbox
 }
@@ -109,6 +128,42 @@ func (cr *ContainerRuntime) EnsureTemplate(p *sim.Proc, kind lang.Kind) (*lang.I
 // Template returns the booted template for kind, or nil.
 func (cr *ContainerRuntime) Template(kind lang.Kind) *lang.Instance {
 	return cr.templates[kind]
+}
+
+// EnsureForest boots (once) the zygote tree for a language runtime, rooted
+// at the runtime's generic template.
+func (cr *ContainerRuntime) EnsureForest(p *sim.Proc, kind lang.Kind) (*lang.ZygoteTree, error) {
+	if t, ok := cr.forest[kind]; ok {
+		return t, nil
+	}
+	root, err := cr.EnsureTemplate(p, kind)
+	if err != nil {
+		return nil, err
+	}
+	if cr.forest == nil {
+		cr.forest = make(map[lang.Kind]*lang.ZygoteTree)
+	}
+	t := lang.NewZygoteTree(cr.OS, root, cr.ZygoteCfg)
+	cr.forest[kind] = t
+	return t, nil
+}
+
+// Forest returns the zygote tree for kind, or nil if none was booted.
+func (cr *ContainerRuntime) Forest(kind lang.Kind) *lang.ZygoteTree {
+	return cr.forest[kind]
+}
+
+// ResetForests retires every specialized zygote template (executor kill or
+// PU crash). Generic root templates survive, matching the flat-template
+// lifecycle; pinned nodes drain before exiting so refcounts release exactly
+// once. A runtime with no forests is untouched.
+func (cr *ContainerRuntime) ResetForests() {
+	for _, kind := range []lang.Kind{lang.Python, lang.Node} {
+		if t, ok := cr.forest[kind]; ok {
+			t.Reset()
+			cr.count("sandbox_zygote_resets_total")
+		}
+	}
 }
 
 // Prewarm pre-initializes n function containers off the request critical
@@ -182,7 +237,11 @@ func (cr *ContainerRuntime) Start(p *sim.Proc, ids []string) error {
 		if err != nil {
 			return err
 		}
-		if cr.UseCfork {
+		if cr.UseCfork && cr.UseZygoteTree {
+			if err := cr.startZygote(p, sb); err != nil {
+				return err
+			}
+		} else if cr.UseCfork {
 			tmpl, err := cr.EnsureTemplate(p, sb.Spec.Lang)
 			if err != nil {
 				return err
@@ -206,6 +265,50 @@ func (cr *ContainerRuntime) Start(p *sim.Proc, ids []string) error {
 			cr.count("sandbox_plain_boots_total")
 		}
 		sb.State = StateRunning
+	}
+	return nil
+}
+
+// startZygote forks the sandbox's instance from the deepest zygote
+// template covering its package manifest. The node is pinned for the
+// duration of the fork so a concurrent fitter prune (or forest reset)
+// defers the template's exit instead of releasing its address space out
+// from under the in-flight fork. The residual imports are recorded on the
+// sandbox, not paid here: the caller charges them on its own span so
+// attribution can split ancestor-resolution from residual-import time.
+func (cr *ContainerRuntime) startZygote(p *sim.Proc, sb *ContainerSandbox) error {
+	tree, err := cr.EnsureForest(p, sb.Spec.Lang)
+	if err != nil {
+		return err
+	}
+	node := tree.Resolve(sb.Spec.Pkgs)
+	tree.Pin(node)
+	inst, err := lang.Cfork(p, node.Inst, sb.Spec.FuncID, lang.CforkOptions{
+		PreparedContainer: true,
+		CpusetMutexPatch:  cr.CpusetMutexPatch,
+		Namespace:         sb.ns,
+		Cgroup:            sb.cg,
+		// Zygote templates park merged between forks (SOCK-style).
+		KeepTemplateMerged: true,
+	})
+	tree.Unpin(node)
+	if err != nil {
+		return err
+	}
+	sb.Inst, sb.Forked = inst, true
+	sb.Residual = sb.Spec.Pkgs.Residual(node.Pkgs)
+	sb.ZygoteDepth = node.Depth()
+	cr.count("sandbox_cfork_total")
+	cr.count("sandbox_zygote_forks_total")
+	if node.ID != 0 {
+		cr.count("sandbox_zygote_ancestor_hits_total")
+	}
+	tree.Observe(sb.Spec.Pkgs)
+	if tree.NeedsFit() {
+		tree.BeginFit()
+		cr.OS.Env.Spawn("zygote-fit", func(bg *sim.Proc) {
+			tree.Fit(bg)
+		})
 	}
 	return nil
 }
@@ -259,6 +362,35 @@ func (cr *ContainerRuntime) State(ids []string) []Status {
 		out = append(out, Status{ID: id, State: st})
 	}
 	return out
+}
+
+// MemoryStats sums the memory footprint of the runtime's live pieces:
+// running sandbox instances (count + PSS bytes) and template PSS bytes —
+// the generic templates, or the whole zygote forest when one is booted
+// (its root is the generic template, so the two never double-count).
+// Iteration is sorted, keeping the float sums deterministic.
+func (cr *ContainerRuntime) MemoryStats() (instances int, instPSS, tmplPSS float64) {
+	ids := make([]string, 0, len(cr.sandboxes))
+	for id := range cr.sandboxes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if sb := cr.sandboxes[id]; sb.Inst != nil {
+			instances++
+			instPSS += sb.Inst.PSSBytes()
+		}
+	}
+	for _, kind := range []lang.Kind{lang.Python, lang.Node} {
+		if t, ok := cr.forest[kind]; ok {
+			tmplPSS += t.TemplatePSSPages() * params.PageSize
+			continue
+		}
+		if tmpl, ok := cr.templates[kind]; ok {
+			tmplPSS += tmpl.PSSBytes()
+		}
+	}
+	return instances, instPSS, tmplPSS
 }
 
 // Sandbox returns the container sandbox with the given ID, or nil.

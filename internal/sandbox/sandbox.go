@@ -55,6 +55,10 @@ type Spec struct {
 	FuncID string
 	// Lang selects the language runtime for container sandboxes.
 	Lang lang.Kind
+	// Pkgs is the function's dependency-closed package manifest. When the
+	// container runtime runs a zygote forest, Start forks from the deepest
+	// template covering this set; otherwise the field is ignored.
+	Pkgs lang.PkgSet
 }
 
 // Status pairs a sandbox ID with its state (Table 3: state vector<...>).

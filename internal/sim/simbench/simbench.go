@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -113,6 +114,44 @@ func CrossShardSend(b *testing.B) {
 	}
 }
 
+// AddressSpaceForkFanout measures forking many children off one warm
+// template address space — the zygote-forest cold-start pattern, where one
+// specialized template feeds every instance of its package cohort. Per op:
+// fork fanout children, touch a small private working set in each (the COW
+// break), read the PSS the kernel must keep consistent, then release all
+// children. Fork itself must stay O(extents) with ~2 allocs; the fanout
+// shape catches refcount churn that a single-child benchmark hides.
+func AddressSpaceForkFanout(b *testing.B) {
+	const (
+		templatePages = 3072 // ~12MB template: base runtime + warm imports
+		fanout        = 64
+		privatePages  = 16
+	)
+	b.ReportAllocs()
+	tmpl := mem.NewAddressSpace()
+	tmpl.Map(templatePages)
+	children := make([]*mem.AddressSpace, fanout)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range children {
+			c := tmpl.Fork()
+			c.Write(0, privatePages)
+			children[j] = c
+		}
+		if pss := tmpl.PSSPages(); pss <= 0 {
+			b.Fatalf("template PSS = %v", pss)
+		}
+		for j, c := range children {
+			c.Release()
+			children[j] = nil
+		}
+	}
+	b.StopTimer()
+	if got := tmpl.PSSPages(); got != templatePages {
+		b.Fatalf("template PSS after release = %v, want %d (leaked child refs)", got, templatePages)
+	}
+}
+
 // All runs every kernel microbenchmark through testing.Benchmark and returns
 // the results. Used by molecule-bench -json.
 func All() []Result {
@@ -125,6 +164,7 @@ func All() []Result {
 		{"KernelSpawn", Spawn},
 		{"ChanPingPong", ChanPingPong},
 		{"KernelCrossShardSend", CrossShardSend},
+		{"AddressSpaceForkFanout", AddressSpaceForkFanout},
 	}
 	out := make([]Result, 0, len(benches))
 	for _, bm := range benches {

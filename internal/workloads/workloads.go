@@ -43,6 +43,12 @@ type Function struct {
 	// DepImport is the dependency-import cost the baseline pays on cold
 	// start on top of generic runtime boot (numpy, PIL, ffmpeg, ...).
 	DepImport time.Duration
+	// Packages names the function's direct imports in the lang package
+	// catalog. The dependency closure's import cost never exceeds
+	// DepImport; the remainder is the function's private init tail that no
+	// shared template can pre-run. An empty manifest means the whole
+	// DepImport is private (the zygote forest can't help this function).
+	Packages []string
 
 	// ArgBytes and ResultBytes size request/response payloads for the
 	// default argument.
@@ -157,21 +163,21 @@ func All() []*Function {
 	fns := []*Function{
 		// --- FunctionBench (Fig 14a-d). ExecCPU = warm latency (Fig 14b);
 		// DepImport = Fig 14a label − baseline cold boot (85.55) − ExecCPU.
-		{Name: "image-resize", Lang: lang.Python, ExecCPU: ms(14.1), DepImport: ms(98.35),
+		{Name: "image-resize", Lang: lang.Python, ExecCPU: ms(14.1), DepImport: ms(98.35), Packages: []string{"imageops"},
 			ArgBytes: 64 << 10, ResultBytes: 16 << 10, Body: bodyImageResize},
-		{Name: "chameleon", Lang: lang.Python, ExecCPU: ms(10.9), DepImport: ms(165.85),
+		{Name: "chameleon", Lang: lang.Python, ExecCPU: ms(10.9), DepImport: ms(165.85), Packages: []string{"templating"},
 			ArgBytes: 1 << 10, ResultBytes: 32 << 10, Body: bodyChameleon},
-		{Name: "linpack", Lang: lang.Python, ExecCPU: ms(95.9), DepImport: ms(280.05),
+		{Name: "linpack", Lang: lang.Python, ExecCPU: ms(95.9), DepImport: ms(280.05), Packages: []string{"blas"},
 			ArgBytes: 256, ResultBytes: 256, Body: bodyLinpack},
-		{Name: "matmul", Lang: lang.Python, ExecCPU: ms(1.4), DepImport: ms(211.95),
+		{Name: "matmul", Lang: lang.Python, ExecCPU: ms(1.4), DepImport: ms(211.95), Packages: []string{"blas"},
 			ArgBytes: 256, ResultBytes: 256, Body: bodyMatmul},
-		{Name: "pyaes", Lang: lang.Python, ExecCPU: ms(19.5), DepImport: ms(59.45),
+		{Name: "pyaes", Lang: lang.Python, ExecCPU: ms(19.5), DepImport: ms(59.45), Packages: []string{"crypto"},
 			ArgBytes: 4 << 10, ResultBytes: 4 << 10, Body: bodyAES},
-		{Name: "video-processing", Lang: lang.Python, ExecCPU: ms(33811), DepImport: ms(357.45),
+		{Name: "video-processing", Lang: lang.Python, ExecCPU: ms(33811), DepImport: ms(357.45), Packages: []string{"ffmpeg"},
 			ArgBytes: 8 << 20, ResultBytes: 2 << 20, Body: bodyVideo},
-		{Name: "dd", Lang: lang.Python, ExecCPU: ms(43.1), DepImport: ms(66.25),
+		{Name: "dd", Lang: lang.Python, ExecCPU: ms(43.1), DepImport: ms(66.25), Packages: []string{"fileio"},
 			ArgBytes: 1 << 20, ResultBytes: 64, Body: bodyDD},
-		{Name: "gzip-compression", Lang: lang.Python, ExecCPU: ms(182.9), DepImport: ms(67.15),
+		{Name: "gzip-compression", Lang: lang.Python, ExecCPU: ms(182.9), DepImport: ms(67.15), Packages: []string{"zlibx"},
 			ArgBytes: 4 << 20, ResultBytes: 1 << 20, Body: bodyGzip,
 			// GZip FPGA sweep (Fig 14f): CPU = 42 ns/B; FPGA = 119 ms fixed
 			// + 4 ns/B, giving 4.8x at 25MB and 8.3x at 112MB, with the
@@ -182,46 +188,46 @@ func All() []*Function {
 			Fabric:     ms(119) + time.Duration(4*(4<<20))},
 
 		// --- ServerlessBench / chains.
-		{Name: "helloworld", Lang: lang.Python, ExecCPU: ms(0.4), DepImport: ms(145),
+		{Name: "helloworld", Lang: lang.Python, ExecCPU: ms(0.4), DepImport: ms(145), Packages: []string{"httpkit"},
 			ArgBytes: 64, ResultBytes: 64, Body: bodyHello},
-		{Name: "image-processing", Lang: lang.Python, ExecCPU: ms(12.0), DepImport: ms(96),
+		{Name: "image-processing", Lang: lang.Python, ExecCPU: ms(12.0), DepImport: ms(96), Packages: []string{"imageops"},
 			ArgBytes: 64 << 10, ResultBytes: 16 << 10, Body: bodyImageResize},
 
 		// Alexa skill chain (Node.js, 5 functions; Fig 12 / Fig 14e).
-		{Name: "alexa-frontend", Lang: lang.Node, ExecCPU: ms(1.0), DepImport: ms(40), ArgBytes: 512, ResultBytes: 512},
-		{Name: "alexa-interact", Lang: lang.Node, ExecCPU: ms(3.0), DepImport: ms(40), ArgBytes: 512, ResultBytes: 512},
-		{Name: "alexa-smarthome", Lang: lang.Node, ExecCPU: ms(3.0), DepImport: ms(40), ArgBytes: 512, ResultBytes: 512},
-		{Name: "alexa-door", Lang: lang.Node, ExecCPU: ms(4.0), DepImport: ms(40), ArgBytes: 512, ResultBytes: 512},
-		{Name: "alexa-light", Lang: lang.Node, ExecCPU: ms(5.2), DepImport: ms(40), ArgBytes: 512, ResultBytes: 512},
+		{Name: "alexa-frontend", Lang: lang.Node, ExecCPU: ms(1.0), DepImport: ms(40), Packages: []string{"alexa-sdk"}, ArgBytes: 512, ResultBytes: 512},
+		{Name: "alexa-interact", Lang: lang.Node, ExecCPU: ms(3.0), DepImport: ms(40), Packages: []string{"alexa-sdk"}, ArgBytes: 512, ResultBytes: 512},
+		{Name: "alexa-smarthome", Lang: lang.Node, ExecCPU: ms(3.0), DepImport: ms(40), Packages: []string{"alexa-sdk"}, ArgBytes: 512, ResultBytes: 512},
+		{Name: "alexa-door", Lang: lang.Node, ExecCPU: ms(4.0), DepImport: ms(40), Packages: []string{"alexa-sdk"}, ArgBytes: 512, ResultBytes: 512},
+		{Name: "alexa-light", Lang: lang.Node, ExecCPU: ms(5.2), DepImport: ms(40), Packages: []string{"alexa-sdk"}, ArgBytes: 512, ResultBytes: 512},
 
 		// MapReduce chain (Python, 3 functions; Fig 14e).
-		{Name: "mr-splitter", Lang: lang.Python, ExecCPU: ms(1.29), DepImport: ms(30), ArgBytes: 16 << 10, ResultBytes: 16 << 10},
-		{Name: "mr-mapper", Lang: lang.Python, ExecCPU: ms(1.29), DepImport: ms(30), ArgBytes: 16 << 10, ResultBytes: 8 << 10},
-		{Name: "mr-reducer", Lang: lang.Python, ExecCPU: ms(1.29), DepImport: ms(30), ArgBytes: 8 << 10, ResultBytes: 1 << 10},
+		{Name: "mr-splitter", Lang: lang.Python, ExecCPU: ms(1.29), DepImport: ms(30), Packages: []string{"fileio"}, ArgBytes: 16 << 10, ResultBytes: 16 << 10},
+		{Name: "mr-mapper", Lang: lang.Python, ExecCPU: ms(1.29), DepImport: ms(30), Packages: []string{"fileio"}, ArgBytes: 16 << 10, ResultBytes: 8 << 10},
+		{Name: "mr-reducer", Lang: lang.Python, ExecCPU: ms(1.29), DepImport: ms(30), Packages: []string{"fileio"}, ArgBytes: 8 << 10, ResultBytes: 1 << 10},
 
 		// --- Matrix operations (Fig 2b, Fig 14h). CPU latencies from Fig 2b
 		// labels; fabric times calibrated so FPGA end-to-end (including DMA)
 		// is 2.15-2.82x lower.
-		{Name: "mscale", Lang: lang.Python, ExecCPU: 192 * time.Microsecond, DepImport: ms(210),
+		{Name: "mscale", Lang: lang.Python, ExecCPU: 192 * time.Microsecond, DepImport: ms(210), Packages: []string{"blas"},
 			ArgBytes: 64 << 10, ResultBytes: 64 << 10,
 			Fabric: 26 * time.Microsecond, GPUKernel: 20 * time.Microsecond, Body: bodyMScale},
-		{Name: "madd", Lang: lang.Python, ExecCPU: 324 * time.Microsecond, DepImport: ms(210),
+		{Name: "madd", Lang: lang.Python, ExecCPU: 324 * time.Microsecond, DepImport: ms(210), Packages: []string{"blas"},
 			ArgBytes: 128 << 10, ResultBytes: 64 << 10,
 			Fabric: 60 * time.Microsecond, GPUKernel: 30 * time.Microsecond, Body: bodyMAdd},
-		{Name: "vmult", Lang: lang.Python, ExecCPU: 3551 * time.Microsecond, DepImport: ms(210),
+		{Name: "vmult", Lang: lang.Python, ExecCPU: 3551 * time.Microsecond, DepImport: ms(210), Packages: []string{"blas"},
 			ArgBytes: 128 << 10, ResultBytes: 64 << 10,
 			Fabric: 1250 * time.Microsecond, GPUKernel: 400 * time.Microsecond, Body: bodyVMult},
-		{Name: "matrix-comput", Lang: lang.Python, ExecCPU: ms(2.6), DepImport: ms(210),
+		{Name: "matrix-comput", Lang: lang.Python, ExecCPU: ms(2.6), DepImport: ms(210), Packages: []string{"blas"},
 			ArgBytes: 64 << 10, ResultBytes: 64 << 10, Fabric: 880 * time.Microsecond},
 
 		// Vector compute stage for the FPGA chain experiment (Fig 13):
 		// 512KB payloads, 106us fabric time per stage.
-		{Name: "vecstage", Lang: lang.Python, ExecCPU: ms(1.2), DepImport: ms(20),
+		{Name: "vecstage", Lang: lang.Python, ExecCPU: ms(1.2), DepImport: ms(20), Packages: []string{"pyutils"},
 			ArgBytes: 768 << 10, ResultBytes: 768 << 10, Fabric: 106 * time.Microsecond},
 
 		// Anti-money-laundering check (Fig 14g): CPU = 4.71ms + 47.5 ns/entry;
 		// FPGA = 1.05ms fixed + 1.25 ns/entry → 4.7x at 6K, ~34x at 6M.
-		{Name: "anti-moneyl", Lang: lang.Python, ExecCPU: ms(4.99), DepImport: ms(55),
+		{Name: "anti-moneyl", Lang: lang.Python, ExecCPU: ms(4.99), DepImport: ms(55), Packages: []string{"fileio"},
 			ArgBytes: 64 << 10, ResultBytes: 1 << 10,
 			ExecCPUFor: func(a Arg) time.Duration { return ms(4.71) + time.Duration(float64(a.N)*47.5) },
 			// The transaction files stream into FPGA DRAM as part of the
