@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet lint test race chaos bench microbench bench-smoke perfjson nipcjson simjson clusterjson coldstartjson coldstart-race cluster-race shards-race report report-md golden trace-demo attrib-demo examples clean
+.PHONY: all check build vet lint lint-fixtures test race chaos bench microbench bench-smoke perfjson nipcjson simjson clusterjson coldstartjson coldstart-race cluster-race shards-race report report-md golden trace-demo attrib-demo examples clean
 
 all: check
 
@@ -17,11 +17,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# moleculelint: the repo's own go/analysis suite (internal/lint) run over
-# every package. Add -json for machine-readable diagnostics:
+# moleculelint: the repo's own go/analysis suite (internal/lint) — eight
+# invariant analyzers plus stock copylocks and a nilness subset — run over
+# every package. Add -json for the stable machine-readable report:
 #   go run ./cmd/moleculelint -json ./...
 lint:
 	$(GO) run ./cmd/moleculelint ./...
+
+# Only the analyzer fixture suites (linttest goldens + the -json schema
+# golden): fast local iteration while writing or tuning an analyzer,
+# without re-vetting the whole tree.
+lint-fixtures:
+	$(GO) test ./internal/lint/ ./cmd/moleculelint/
 
 test:
 	$(GO) test ./...

@@ -1,6 +1,8 @@
-// moleculelint runs the moleculelint analyzer suite (internal/lint): five
+// moleculelint runs the moleculelint analyzer suite (internal/lint): eight
 // go/analysis analyzers that machine-check this repository's determinism,
-// layering, and zero-allocation invariants.
+// layering, zero-allocation, domain-ownership, release-path, and
+// exactly-once-billing invariants, plus the stock copylocks pass and a
+// definitely-nil nilness subset.
 //
 // Two modes:
 //
@@ -9,37 +11,50 @@
 //
 // Standalone mode re-executes itself under `go vet -vettool`, so both modes
 // analyze packages exactly as the build does (per package, with full type
-// information). -json forwards go vet's machine-readable diagnostic output
-// for tooling consumers. The exit status is non-zero when any analyzer
-// reports a diagnostic.
+// information). -json emits the stable machine-readable report documented in
+// report.go (schema, analyzer, position, message, waiver eligibility) on
+// stdout; the exit status is non-zero when any analyzer reports a
+// diagnostic.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"strings"
 
+	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"repro/internal/lint"
 )
+
+// suite is every analyzer the driver runs: the repo's own eight plus the
+// stock-derived passes, in both driver modes.
+func suite() []*analysis.Analyzer {
+	all := make([]*analysis.Analyzer, 0, len(lint.Analyzers)+len(lint.Stock))
+	all = append(all, lint.Analyzers...)
+	all = append(all, lint.Stock...)
+	return all
+}
 
 func main() {
 	args := os.Args[1:]
 	// go vet drives the unitchecker protocol: -flags and -V=full probe
 	// queries, then one invocation per package with a *.cfg argument.
 	if len(args) > 0 && (args[0] == "-flags" || strings.HasPrefix(args[0], "-V") || strings.HasSuffix(args[len(args)-1], ".cfg")) {
-		unitchecker.Main(lint.Analyzers...) // does not return
+		unitchecker.Main(suite()...) // does not return
 	}
 
 	fs := flag.NewFlagSet("moleculelint", flag.ExitOnError)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (go vet -json format)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a stable JSON report (see cmd/moleculelint/report.go)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: moleculelint [-json] [packages]\n\nAnalyzers:\n")
-		for _, a := range lint.Analyzers {
-			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		for _, a := range suite() {
+			fmt.Fprintf(fs.Output(), "  %-11s %s\n", a.Name, a.Doc)
 		}
 	}
 	fs.Parse(args)
@@ -60,14 +75,51 @@ func main() {
 	vetArgs = append(vetArgs, patterns...)
 
 	cmd := exec.Command("go", vetArgs...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
+	if !*jsonOut {
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "moleculelint: go vet: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	// -json: capture the raw go vet -json stream and re-emit it as the
+	// stable report. go vet may route the JSON to stdout or stderr depending
+	// on version — capture both and parse the combined stream; '#' status
+	// lines are skipped by the parser.
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	runErr := cmd.Run()
+	wd, _ := os.Getwd()
+	raw := append(out.Bytes(), errOut.Bytes()...)
+	rep, perr := buildReport(raw, wd)
+	if perr != nil {
+		// Not diagnostics — a build failure or protocol error. Surface it.
+		os.Stderr.Write(errOut.Bytes())
+		fmt.Fprintf(os.Stderr, "moleculelint: %v\n", perr)
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "moleculelint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(rep.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok {
 			os.Exit(ee.ExitCode())
 		}
-		fmt.Fprintf(os.Stderr, "moleculelint: go vet: %v\n", err)
+		fmt.Fprintf(os.Stderr, "moleculelint: go vet: %v\n", runErr)
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// The -json output contract. The schema is stable: tooling (the CI artifact
+// upload, editor integrations) may rely on these field names and on the
+// diagnostic ordering (by file, line, column, analyzer, message).
+//
+//	{
+//	  "schema": 1,
+//	  "diagnostics": [
+//	    {
+//	      "analyzer": "maporder",
+//	      "position": "internal/obs/report.go:41:2",
+//	      "message": "maporder: range over map in report path (...)",
+//	      "waiverEligible": true,
+//	      "waiverMarker": "//lint:unordered"
+//	    }
+//	  ]
+//	}
+//
+// waiverEligible reports whether the analyzer honors an in-source waiver
+// marker; waiverMarker is that marker (omitted when not eligible). Positions
+// are relative to the repository root when the file is under it.
+
+// reportSchema is bumped only on incompatible changes to the structure.
+const reportSchema = 1
+
+// Diagnostic is one finding in the stable schema.
+type Diagnostic struct {
+	Analyzer       string `json:"analyzer"`
+	Position       string `json:"position"`
+	Message        string `json:"message"`
+	WaiverEligible bool   `json:"waiverEligible"`
+	WaiverMarker   string `json:"waiverMarker,omitempty"`
+}
+
+// Report is the top-level -json document.
+type Report struct {
+	Schema      int          `json:"schema"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// vetDiag mirrors the per-diagnostic object in `go vet -json` output.
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// buildReport converts raw `go vet -json` output (a stream of
+// pkg→analyzer→[]diagnostic JSON objects interleaved with `# pkg` comment
+// lines) into the stable report, relativizing positions against base.
+func buildReport(raw []byte, base string) (*Report, error) {
+	var clean bytes.Buffer
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		clean.Write(line)
+		clean.WriteByte('\n')
+	}
+	rep := &Report{Schema: reportSchema, Diagnostics: []Diagnostic{}}
+	dec := json.NewDecoder(&clean)
+	for {
+		var chunk map[string]map[string][]vetDiag
+		if err := dec.Decode(&chunk); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go vet -json output: %v", err)
+		}
+		for _, byAnalyzer := range chunk {
+			for analyzer, ds := range byAnalyzer {
+				marker, eligible := lint.WaiverMarkerFor(analyzer)
+				for _, d := range ds {
+					rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+						Analyzer:       analyzer,
+						Position:       relPosition(d.Posn, base),
+						Message:        d.Message,
+						WaiverEligible: eligible,
+						WaiverMarker:   marker,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(rep.Diagnostics, func(i, j int) bool {
+		a, b := rep.Diagnostics[i], rep.Diagnostics[j]
+		af, al, ac := splitPosition(a.Position)
+		bf, bl, bc := splitPosition(b.Position)
+		if af != bf {
+			return af < bf
+		}
+		if al != bl {
+			return al < bl
+		}
+		if ac != bc {
+			return ac < bc
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return rep, nil
+}
+
+// relPosition rewrites file:line:col with the file path relative to base.
+func relPosition(posn, base string) string {
+	file, rest := posn, ""
+	// Split off the trailing :line[:col] — the file part may hold colons on
+	// other platforms, so cut from the right.
+	for i := 0; i < 2; i++ {
+		if j := strings.LastIndex(file, ":"); j >= 0 {
+			if _, err := strconv.Atoi(file[j+1:]); err == nil {
+				rest = file[j:] + rest
+				file = file[:j]
+				continue
+			}
+		}
+		break
+	}
+	if base != "" && filepath.IsAbs(file) {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return file + rest
+}
+
+// splitPosition parses "file:line:col" for ordering; absent parts sort as 0.
+func splitPosition(posn string) (file string, line, col int) {
+	file = posn
+	for i := 0; i < 2; i++ {
+		j := strings.LastIndex(file, ":")
+		if j < 0 {
+			break
+		}
+		n, err := strconv.Atoi(file[j+1:])
+		if err != nil {
+			break
+		}
+		line, col = n, line
+		file = file[:j]
+	}
+	return file, line, col
+}

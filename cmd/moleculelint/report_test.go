@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden -json report")
+
+// TestReportGolden pins the -json schema byte for byte: the raw `go vet
+// -json` stream in testdata/vet_stream.json must always transform into
+// testdata/golden_report.json — field names, ordering, waiver-eligibility
+// flags, and path relativization are all part of the contract.
+func TestReportGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "vet_stream.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := buildReport(raw, "/work/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "golden_report.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("-json report schema drifted from golden.\ngot:\n%s\nwant:\n%s\n(run `go test ./cmd/moleculelint -run Golden -update` after an intentional change)", got, want)
+	}
+}
+
+// TestReportEmpty pins the no-findings document: diagnostics must be an
+// empty array, never null.
+func TestReportEmpty(t *testing.T) {
+	rep, err := buildReport([]byte("# repro/internal/sim\n"), "/work/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"schema":1,"diagnostics":[]}`
+	if string(got) != want {
+		t.Errorf("empty report = %s, want %s", got, want)
+	}
+}
+
+// TestWaiverFlags pins the analyzer→marker mapping surfaced in the report.
+func TestWaiverFlags(t *testing.T) {
+	cases := map[string]string{
+		"maporder":    "//lint:unordered",
+		"crossdomain": "//lint:owned",
+		"releasepath": "//lint:released",
+		"settleonce":  "//lint:settled",
+		"simtime":     "",
+		"detrand":     "",
+		"layering":    "",
+		"hotpath":     "",
+		"nilness":     "",
+		"copylocks":   "",
+	}
+	for analyzer, marker := range cases {
+		chunk := []byte(`{"p": {"` + analyzer + `": [{"posn": "f.go:1:1", "message": "m"}]}}`)
+		rep, err := buildReport(chunk, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Diagnostics) != 1 {
+			t.Fatalf("%s: got %d diagnostics", analyzer, len(rep.Diagnostics))
+		}
+		d := rep.Diagnostics[0]
+		if d.WaiverEligible != (marker != "") || d.WaiverMarker != marker {
+			t.Errorf("%s: waiverEligible=%v marker=%q, want marker %q", analyzer, d.WaiverEligible, d.WaiverMarker, marker)
+		}
+	}
+}

@@ -31,6 +31,7 @@ func main() {
 			}
 			placed := 0
 			for {
+				//lint:released density probe: instances are held until the run ends — the example measures packing capacity, not a request lifecycle
 				if _, err := rt.AcquireHeld(p, "image-processing", -1); err != nil {
 					break
 				}

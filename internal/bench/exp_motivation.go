@@ -43,6 +43,7 @@ func runFig2a() []*metrics.Table {
 				panic(err)
 			}
 			for {
+				//lint:released density probe: instances are held until the sandbox run ends — the experiment measures how many fit, not a request lifecycle
 				if _, err := rt.AcquireHeld(p, "image-processing", -1); err != nil {
 					break
 				}

@@ -125,6 +125,7 @@ func ShardSoak(cfg ShardSoakConfig) (ShardSoakResult, error) {
 				inv[machine]++
 				if n%sendEvery == 0 {
 					sent[machine]++
+					//lint:owned soak assertion state: last/recv slots for machine `next` are written only by deliveries on next's own domain, and the cross-worker fingerprint check enforces exactly that discipline
 					ic.SendAfter(p.Env(), dom(next), 0, extra, func() {
 						at := nextEnv.Now()
 						if at < last[next] {

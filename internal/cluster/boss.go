@@ -623,9 +623,11 @@ func (b *Boss) enqueue(req *request) {
 func (b *Boss) dispatchOne(req *request, n *Node) {
 	n.inflight++
 	b.inflight++
+	//lint:owned request handoff: req travels with the message and is next touched only by the destination node's exec callback; b's fields are mutated only by deliveries on the boss domain
 	b.IC.Send(b.Env, n.Domain, requestBytes, func() {
 		n.Env.Spawn("exec-"+req.fn, func(wp *sim.Proc) {
 			res, err := n.invokeLocal(wp, req.fn, req.opts)
+			//lint:owned reply to the boss: res/err are finalized before the send and b mutates its own state only on delivery in its domain
 			b.IC.Send(n.Env, 0, replyBytes, func() {
 				b.completeOne(req, n, res, err)
 			})
@@ -732,6 +734,7 @@ func (b *Boss) dispatchChain(req *request) {
 		b.inflight += len(seg.names)
 	}
 	first := req.plan[0].node
+	//lint:owned chain kickoff: req ownership moves to segment 0's machine with the message; the boss touches it again only in the completion reply
 	b.IC.Send(b.Env, first.Domain, requestBytes, func() {
 		b.execSegment(req, 0, molecule.ChainResult{})
 	})
@@ -746,6 +749,7 @@ func (b *Boss) execSegment(req *request, idx int, acc molecule.ChainResult) {
 	n.Env.Spawn("chainseg", func(wp *sim.Proc) {
 		for _, fn := range seg.names {
 			if err := n.ensureDeployedLocal(wp, fn); err != nil {
+				//lint:owned chain reply: acc and req are dead on the sending machine after this send; the boss consumes them on delivery in its own domain
 				b.IC.Send(n.Env, 0, replyBytes, func() { b.completeChain(req, n, acc, err) })
 				return
 			}
@@ -762,6 +766,7 @@ func (b *Boss) execSegment(req *request, idx int, acc molecule.ChainResult) {
 			break
 		}
 		if err != nil {
+			//lint:owned chain reply: acc and req are dead on the sending machine after this send; the boss consumes them on delivery in its own domain
 			b.IC.Send(n.Env, 0, replyBytes, func() { b.completeChain(req, n, acc, err) })
 			return
 		}
@@ -770,6 +775,7 @@ func (b *Boss) execSegment(req *request, idx int, acc molecule.ChainResult) {
 		acc.ExecTotal += res.ExecTotal
 		acc.ColdStarts += res.ColdStarts
 		if idx+1 == len(req.plan) {
+			//lint:owned chain reply: acc and req are dead on the sending machine after this send; the boss consumes them on delivery in its own domain
 			b.IC.Send(n.Env, 0, replyBytes, func() { b.completeChain(req, n, acc, nil) })
 			return
 		}
@@ -779,6 +785,7 @@ func (b *Boss) execSegment(req *request, idx int, acc molecule.ChainResult) {
 		acc.Total += hop
 		acc.EdgeLatency = append(acc.EdgeLatency, hop)
 		next := req.plan[idx+1].node
+		//lint:owned segment hop: acc and req move to the next machine with the message; the sending segment never touches them again
 		b.IC.Send(n.Env, next.Domain, intermediateBytes, func() {
 			b.execSegment(req, idx+1, acc)
 		})

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestCrossDomain(t *testing.T) {
+	linttest.Run(t, lint.CrossDomain,
+		linttest.Package{Path: "repro/internal/hw", Dir: "testdata/crossdomain/hw"},
+		linttest.Package{Path: "repro/internal/sim", Dir: "testdata/crossdomain/sim"},
+		linttest.Package{Path: "repro/internal/cluster", Dir: "testdata/crossdomain/cluster"})
+}

@@ -111,7 +111,42 @@ func stackCtx(stack []ast.Node) (decl *ast.FuncDecl, inReturn, guarded bool) {
 	return decl, inReturn, guarded
 }
 
+// auditHotPathDirectives reports //molecule:hotpath directives that are not
+// the doc comment of a function declaration: the function was renamed,
+// deleted, or the comment drifted into a body, so the directive opts
+// nothing into the check while still reading as if an invariant holds.
+func auditHotPathDirectives(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		attached := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					attached[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text != hotPathMarker && !strings.HasPrefix(c.Text, hotPathMarker+" ") {
+					continue
+				}
+				if attached[c] {
+					continue
+				}
+				if isTestFile(pass, pass.Fset.Position(c.Pos()).Filename) {
+					continue
+				}
+				pass.Reportf(c.Pos(),
+					"hotpath: stale %s directive: not attached to a function declaration — the function it pinned is gone; delete or re-attach it",
+					hotPathMarker)
+			}
+		}
+	}
+}
+
 func runHotPath(pass *analysis.Pass) (interface{}, error) {
+	auditHotPathDirectives(pass)
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	nodeTypes := []ast.Node{
 		(*ast.CallExpr)(nil),

@@ -1,6 +1,8 @@
-// Package lint implements moleculelint: five go/analysis analyzers that
+// Package lint implements moleculelint: eight go/analysis analyzers that
 // machine-check the invariants this reproduction's correctness rests on but
 // the compiler cannot see.
+//
+// The five syntactic analyzers from the original suite:
 //
 //   - simtime: simulation-facing packages advance virtual time only; any
 //     wall-clock call (time.Now, time.Sleep, ...) silently breaks the
@@ -18,9 +20,32 @@
 //     allocations per op; fmt formatting, string concatenation, capturing
 //     closures, and unguarded Tracef calls defeat that.
 //
+// And the three CFG/dataflow analyzers covering the invariant classes
+// recent PRs tripped over dynamically before the soaks caught them:
+//
+//   - crossdomain: closures crossing kernel-domain boundaries
+//     (hw.Interconnect.Send/SendAfter, sim.Sharded.Send) must capture only
+//     value copies and destination-owned state — shared mutable captures
+//     are exactly what makes the worker count observable
+//     (//lint:owned <reason> waives a protocol the analyzer cannot see).
+//   - releasepath: resources acquired through the pairings in ReleaseTable
+//     (molecule acquire/release, mem.AddressSpace Fork/Release, lang zygote
+//     Pin/Unpin) must reach a release on every path, with cleanup defers
+//     registered before fallible steps, and never release twice
+//     (//lint:released <reason>).
+//   - settleonce: every path through molecule's dispatch/recovery code
+//     settles an invocation exactly once — the exactly-once billing
+//     invariant, checked at compile time instead of only by the chaos soak
+//     (//lint:settled <reason>).
+//
+// A local nilness subset (definitely-nil dereferences; the SSA-based stock
+// pass needs go/ssa, which the offline vendor does not carry) and the stock
+// copylocks pass round out the suite. Every waiver marker requires a
+// reason, and markers no analyzer consumes are reported as stale.
+//
 // The suite runs standalone or as `go vet -vettool` via cmd/moleculelint
 // (`make lint`); each analyzer has an analysistest-style suite under
-// testdata/ driven by internal/lint/linttest.
+// testdata/ driven by internal/lint/linttest (`make lint-fixtures`).
 package lint
 
 import (
@@ -36,7 +61,17 @@ var Analyzers = []*analysis.Analyzer{
 	Layering,
 	MapOrder,
 	HotPath,
+	CrossDomain,
+	ReleasePath,
+	SettleOnce,
 }
+
+// Stock are the general-purpose passes the driver runs alongside the
+// repo-specific suite: the vendored copylocks analyzer and the local
+// nilness subset (see Nilness for why it is not the SSA-based stock pass).
+// Split from Analyzers because they are not ours to fixture-test and carry
+// no waiver markers.
+var Stock []*analysis.Analyzer // populated in stock.go
 
 // modulePrefix roots the layer table's keys: every entry in Table names a
 // package directory below this prefix.

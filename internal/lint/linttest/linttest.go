@@ -109,18 +109,10 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Package) {
 	}
 
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:   a,
-		Fset:       fset,
-		Files:      files,
-		Pkg:        tpkg,
-		TypesInfo:  info,
-		TypesSizes: types.SizesFor("gc", "amd64"),
-		ResultOf: map[*analysis.Analyzer]interface{}{
-			inspect.Analyzer: inspector.New(files),
-		},
-		Report:  func(d analysis.Diagnostic) { diags = append(diags, d) },
-		ReadFile: os.ReadFile,
+	pass := newPass(a, fset, files, tpkg, info)
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if err := resolveRequires(pass, fset, files, tpkg, info); err != nil {
+		t.Fatalf("linttest: %v", err)
 	}
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("linttest: %s failed: %v", a.Name, err)
@@ -150,6 +142,63 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Package) {
 			t.Errorf("%s: missing diagnostic at %s:%d matching %q", target.Path, filepath.Base(w.file), w.line, w.re)
 		}
 	}
+}
+
+// newPass builds an analysis.Pass over the fixture package with no-op fact
+// machinery: prerequisite passes like ctrlflow call ExportObjectFact /
+// ImportObjectFact, which the single-package harness satisfies with stubs
+// (facts only refine cross-package noReturn detection; fixtures do not
+// depend on it).
+func newPass(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer:          a,
+		Fset:              fset,
+		Files:             files,
+		Pkg:               tpkg,
+		TypesInfo:         info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          make(map[*analysis.Analyzer]interface{}),
+		Report:            func(analysis.Diagnostic) {},
+		ReadFile:          os.ReadFile,
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ExportPackageFact: func(analysis.Fact) {},
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+}
+
+// resolveRequires runs the analyzer's transitive Requires chain over the
+// fixture package and fills pass.ResultOf — the piece of the driver the
+// CFG-based analyzers need (inspect feeds ctrlflow feeds releasepath).
+func resolveRequires(pass *analysis.Pass, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) error {
+	for _, req := range pass.Analyzer.Requires {
+		if _, done := pass.ResultOf[req]; done {
+			continue
+		}
+		if req == inspect.Analyzer {
+			pass.ResultOf[inspect.Analyzer] = inspector.New(files)
+			continue
+		}
+		sub := newPass(req, fset, files, tpkg, info)
+		if err := resolveRequires(sub, fset, files, tpkg, info); err != nil {
+			return err
+		}
+		res, err := req.Run(sub)
+		if err != nil {
+			return fmt.Errorf("prerequisite %s failed: %v", req.Name, err)
+		}
+		pass.ResultOf[req] = res
+		// Share the sub-pass results upward so diamonds (inspect required
+		// by both the analyzer and ctrlflow) run once.
+		for k, v := range sub.ResultOf {
+			if _, done := pass.ResultOf[k]; !done {
+				pass.ResultOf[k] = v
+			}
+		}
+	}
+	return nil
 }
 
 // parseDir parses every .go file in dir, in name order.
@@ -186,6 +235,14 @@ func parseWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					// Diagnostics that land ON a comment (stale waiver
+					// markers, dangling directives) carry the expectation
+					// inside the same comment: `//lint:owned gone // want ...`.
+					if i := strings.Index(c.Text, " // want "); i >= 0 {
+						rest, ok = c.Text[i+len(" // want "):], true
+					}
+				}
 				if !ok {
 					continue
 				}

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -30,30 +29,6 @@ var MapOrder = &analysis.Analyzer{
 	Doc:      "flag nondeterministic map iteration in report/trace/placement packages unless collected-and-sorted or //lint:unordered",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runMapOrder,
-}
-
-// unorderedMarker is the waiver comment prefix recognized by MapOrder.
-const unorderedMarker = "//lint:unordered"
-
-// unorderedWaivers maps file -> line -> marker text for every
-// //lint:unordered comment in the package.
-func unorderedWaivers(pass *analysis.Pass) map[string]map[int]string {
-	waivers := make(map[string]map[int]string)
-	for _, f := range pass.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, unorderedMarker) {
-					continue
-				}
-				p := pass.Fset.Position(c.Pos())
-				if waivers[p.Filename] == nil {
-					waivers[p.Filename] = make(map[int]string)
-				}
-				waivers[p.Filename][p.Line] = strings.TrimSpace(strings.TrimPrefix(c.Text, unorderedMarker))
-			}
-		}
-	}
-	return waivers
 }
 
 // collectOnly reports whether every statement in the loop body is order-
@@ -161,7 +136,7 @@ func runMapOrder(pass *analysis.Pass) (interface{}, error) {
 	if !ok || !layer.Report {
 		return nil, nil
 	}
-	waivers := unorderedWaivers(pass)
+	waivers := collectWaivers(pass, unorderedMarker)
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	insp.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
 		rs := n.(*ast.RangeStmt)
@@ -176,17 +151,11 @@ func runMapOrder(pass *analysis.Pass) (interface{}, error) {
 		if isTestFile(pass, p.Filename) {
 			return
 		}
-		if lines := waivers[p.Filename]; lines != nil {
-			reason, found := lines[p.Line]
-			if !found {
-				reason, found = lines[p.Line-1]
+		if reason, found := waivers.lookup(p.Filename, p.Line); found {
+			if reason == "" {
+				pass.Reportf(rs.Pos(), "maporder: //lint:unordered marker needs a reason explaining why iteration order cannot be observed")
 			}
-			if found {
-				if reason == "" {
-					pass.Reportf(rs.Pos(), "maporder: //lint:unordered marker needs a reason explaining why iteration order cannot be observed")
-				}
-				return
-			}
+			return
 		}
 		rangeKey := ""
 		if id, ok := rs.Key.(*ast.Ident); ok {
@@ -199,5 +168,9 @@ func runMapOrder(pass *analysis.Pass) (interface{}, error) {
 			"maporder: range over map in report path (%s): iteration order is randomized per run; collect and sort the keys first, or annotate //lint:unordered <reason>",
 			pass.Pkg.Path())
 	})
+	// Stale-waiver audit: a marker no map range consumed excuses nothing
+	// anymore (the loop moved, or was rewritten over a slice) and would
+	// silently waive the next unrelated violation on its line.
+	waivers.reportStale(pass, "map range")
 	return nil, nil
 }

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, lint.Nilness,
+		linttest.Package{Path: "repro/internal/nilfix", Dir: "testdata/nilness/nilfix"})
+}

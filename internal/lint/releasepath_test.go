@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestReleasePathMolecule(t *testing.T) {
+	linttest.Run(t, lint.ReleasePath,
+		linttest.Package{Path: "repro/internal/molecule", Dir: "testdata/releasepath/molecule"})
+}
+
+func TestReleasePathMem(t *testing.T) {
+	linttest.Run(t, lint.ReleasePath,
+		linttest.Package{Path: "repro/internal/mem", Dir: "testdata/releasepath/mem"})
+}
+
+func TestReleasePathLang(t *testing.T) {
+	linttest.Run(t, lint.ReleasePath,
+		linttest.Package{Path: "repro/internal/lang", Dir: "testdata/releasepath/lang"})
+}

@@ -1,0 +1,135 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// acquireVerbs / releaseVerbs name the method shapes that smell like
+// resource acquisition or disposal in the table-covered packages. Growing a
+// new method that matches one of these means either adding a ReleaseTable
+// pairing or renaming the method — the table must not silently fall behind
+// the API.
+var (
+	acquireVerbs = regexp.MustCompile(`^(acquire|Acquire[A-Z]\w*|Pin|Fork)$`)
+	releaseVerbs = regexp.MustCompile(`^(release|destroy|Release[A-Z]\w*|Unpin)$`)
+)
+
+// methodsIn syntax-parses every non-test .go file under dir and returns the
+// set of "Type.Method" strings for methods with named receivers.
+func methodsIn(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := fd.Recv.List[0].Type
+			if star, ok := recv.(*ast.StarExpr); ok {
+				recv = star.X
+			}
+			if ix, ok := recv.(*ast.IndexExpr); ok { // generic receiver
+				recv = ix.X
+			}
+			if id, ok := recv.(*ast.Ident); ok {
+				out[id.Name+"."+fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// pkgDir maps a table import path to the package's source directory,
+// relative to this test's working directory (internal/lint).
+func pkgDir(t *testing.T, importPath string) string {
+	t.Helper()
+	rest, ok := strings.CutPrefix(importPath, "repro/internal/")
+	if !ok {
+		t.Fatalf("table import path %q is not under repro/internal", importPath)
+	}
+	return filepath.Join("..", rest)
+}
+
+// TestReleaseTableCoversResourceTypes pins the pairing table to the tree in
+// both directions: every table entry must name a method that still exists,
+// and every acquire/release-shaped method in a table-covered package must
+// appear in the table.
+func TestReleaseTableCoversResourceTypes(t *testing.T) {
+	type ref struct{ pkg, typ, method string }
+	split := func(recv, method string) ref {
+		i := strings.LastIndex(recv, ".")
+		if i < 0 {
+			t.Fatalf("malformed table receiver %q", recv)
+		}
+		return ref{pkg: recv[:i], typ: recv[i+1:], method: method}
+	}
+
+	// Collect every method the table references, and the set of packages it
+	// covers.
+	var refs []ref
+	covered := make(map[string]bool)
+	inTable := make(map[string]bool) // "pkg|Type.Method"
+	for _, pair := range lint.ReleaseTable {
+		r := split(pair.Acquire.Recv, pair.Acquire.Method)
+		refs = append(refs, r)
+		covered[r.pkg] = true
+		inTable[r.pkg+"|"+r.typ+"."+r.method] = true
+		for _, rel := range pair.Releases {
+			rr := split(rel.Recv, rel.Method)
+			refs = append(refs, rr)
+			covered[rr.pkg] = true
+			inTable[rr.pkg+"|"+rr.typ+"."+rr.method] = true
+		}
+	}
+
+	methods := make(map[string]map[string]bool) // pkg -> Type.Method set
+	for pkg := range covered {
+		methods[pkg] = methodsIn(t, pkgDir(t, pkg))
+	}
+
+	// Direction 1: the table references only methods that exist.
+	for _, r := range refs {
+		if !methods[r.pkg][r.typ+"."+r.method] {
+			t.Errorf("ReleaseTable references %s.%s.%s, which no longer exists — update the pairing table",
+				r.pkg, r.typ, r.method)
+		}
+	}
+
+	// Direction 2: no acquire/release-shaped method in a covered package is
+	// missing from the table.
+	for pkg, set := range methods {
+		for tm := range set {
+			method := tm[strings.LastIndex(tm, ".")+1:]
+			if !acquireVerbs.MatchString(method) && !releaseVerbs.MatchString(method) {
+				continue
+			}
+			if !inTable[pkg+"|"+tm] {
+				t.Errorf("%s.%s looks like an acquire/release method but is not in ReleaseTable — add a pairing or rename it",
+					pkg, tm)
+			}
+		}
+	}
+}

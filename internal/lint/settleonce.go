@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+// SettleOnce checks the exactly-once billing invariant on molecule's
+// dispatch and recovery code statically: every path through a function that
+// settles invocations must call settleResult exactly once when it is
+// responsible for settling — no successful return without a settle
+// (under-billing), no path that settles twice (double-billing), and no
+// settle when the caller passed settle=false (the recovery layer's losing
+// attempts must never bill). The chaos soak asserts the same property
+// dynamically; this pins it at compile time.
+//
+// The analysis runs a forward dataflow over the CFG tracking the set of
+// possible settle counts {0, 1, 2+}. Functions with a `settle bool`
+// parameter are checked twice — once assuming settle=true (branches on the
+// parameter pruned accordingly; a call forwarding the parameter counts as
+// one settle) and once assuming settle=false (forwarded calls settle
+// nothing, and reaching a direct settleResult call is a violation).
+// Returns whose final result is the literal nil are success returns and
+// must carry count exactly 1 (in the settle=true pass); a return that
+// forwards the settle parameter delegates the obligation to the callee and
+// is neutral. Function literals are checked for double-settles only.
+//
+// //lint:settled <reason> on the reported line waives a finding the
+// analysis cannot see through (mandatory reason, stale markers flagged).
+var SettleOnce = &analysis.Analyzer{
+	Name:     "settleonce",
+	Doc:      "every path through molecule dispatch/recovery must settle exactly once (no zero, no double billing)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runSettleOnce,
+}
+
+// settleFn identifies the settlement call.
+var settleFn = apiRef{Recv: "repro/internal/molecule.Runtime", Method: "settleResult"}
+
+// settleParamName is the conventional guard parameter.
+const settleParamName = "settle"
+
+// soCounts is a set of possible settle counts: bit 0 = zero settles so
+// far, bit 1 = exactly one, bit 2 = two or more.
+type soCounts uint8
+
+const (
+	soZero soCounts = 1 << iota
+	soOne
+	soMany
+)
+
+// bump advances every count in the set by one settle.
+func (c soCounts) bump() soCounts {
+	var out soCounts
+	if c&soZero != 0 {
+		out |= soOne
+	}
+	if c&(soOne|soMany) != 0 {
+		out |= soMany
+	}
+	return out
+}
+
+// soEvent is one settle-relevant point in a block.
+type soKind uint8
+
+const (
+	soSettle  soKind = iota // direct settleResult call
+	soForward               // call forwarding the settle parameter (non-tail)
+	soReturn
+)
+
+type soEvent struct {
+	kind     soKind
+	pos      token.Pos
+	success  bool // soReturn: last result is the literal nil
+	forwards bool // soReturn: results contain a settle-forwarding call
+}
+
+// soFunc is one function under analysis.
+type soFunc struct {
+	pass      *analysis.Pass
+	graph     *cfg.CFG
+	settleVar *types.Var // the settle bool parameter, if any
+	hasReturn bool       // signature ends in error (enables return classification)
+	litOnly   bool       // function literal: double-settle rule only
+}
+
+// isSettleCall reports whether call is a direct settleResult call.
+func isSettleCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	recv, method, ok := methodRef(pass, call)
+	return ok && recv == settleFn.Recv && method == settleFn.Method
+}
+
+// forwardsSettle reports whether the call passes the settle parameter
+// through as an argument.
+func (f *soFunc) forwardsSettle(call *ast.CallExpr) bool {
+	if f.settleVar == nil {
+		return false
+	}
+	for _, a := range call.Args {
+		if identVar(f.pass, ast.Unparen(a)) == f.settleVar {
+			return true
+		}
+	}
+	return false
+}
+
+// collect extracts the settle events of one block node in order. Nested
+// function literals are analyzed separately and skipped here.
+func (f *soFunc) collect(n ast.Node, out *[]soEvent) {
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		ev := soEvent{kind: soReturn, pos: ret.Pos()}
+		if len(ret.Results) > 0 {
+			if id, ok := ast.Unparen(ret.Results[len(ret.Results)-1]).(*ast.Ident); ok && id.Name == "nil" {
+				ev.success = true
+			}
+		}
+		for _, r := range ret.Results {
+			ast.Inspect(r, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && (f.forwardsSettle(call) || isSettleCall(f.pass, call)) {
+					ev.forwards = true
+				}
+				return !ev.forwards
+			})
+		}
+		*out = append(*out, ev)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			f.collect(m, out)
+			return false
+		case *ast.CallExpr:
+			if isSettleCall(f.pass, m) {
+				*out = append(*out, soEvent{kind: soSettle, pos: m.Pos()})
+			} else if f.forwardsSettle(m) {
+				*out = append(*out, soEvent{kind: soForward, pos: m.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// settleFinding is one diagnostic with a stable position for dedup and
+// waiver lookup.
+type settleFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// check runs the dataflow in one mode (settleTrue: the value assumed for
+// the settle parameter) and returns the findings.
+func (f *soFunc) check(settleTrue bool) []settleFinding {
+	events := make([][]soEvent, len(f.graph.Blocks))
+	for bi, b := range f.graph.Blocks {
+		for _, n := range b.Nodes {
+			f.collect(n, &events[bi])
+		}
+	}
+	// Forward dataflow to a fixed point: union-join of possible counts.
+	in := make([]soCounts, len(f.graph.Blocks))
+	if len(f.graph.Blocks) == 0 {
+		return nil
+	}
+	in[0] = soZero
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range f.graph.Blocks {
+			state := in[bi]
+			if state == 0 {
+				continue // unreachable under the current mode's pruning
+			}
+			for _, ev := range events[bi] {
+				switch ev.kind {
+				case soSettle:
+					state = state.bump()
+				case soForward:
+					if settleTrue {
+						state = state.bump()
+					}
+				case soReturn:
+					state = 0 // nothing flows past a return
+				}
+				if state == 0 {
+					break
+				}
+			}
+			if state == 0 {
+				continue
+			}
+			for si, succ := range b.Succs {
+				if f.prunedEdge(bi, si, settleTrue) {
+					continue
+				}
+				if merged := in[succ.Index] | state; merged != in[succ.Index] {
+					in[succ.Index] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	// Replay with final states and record findings.
+	var findings []settleFinding
+	seen := map[string]bool{}
+	add := func(pos token.Pos, msg string) {
+		key := f.pass.Fset.Position(pos).String() + "|" + msg
+		if !seen[key] {
+			seen[key] = true
+			findings = append(findings, settleFinding{pos: pos, msg: msg})
+		}
+	}
+	for bi := range f.graph.Blocks {
+		state := in[bi]
+		if state == 0 {
+			continue
+		}
+		for _, ev := range events[bi] {
+			switch ev.kind {
+			case soSettle:
+				if !settleTrue && f.settleVar != nil {
+					add(ev.pos, "settleonce: path settles although the caller passed settle=false — a losing recovery attempt must never bill")
+				}
+				if state&(soOne|soMany) != 0 {
+					add(ev.pos, "settleonce: path can settle twice — exactly-once billing requires a single settleResult per invocation")
+				}
+				state = state.bump()
+			case soForward:
+				if settleTrue {
+					if state&(soOne|soMany) != 0 {
+						add(ev.pos, "settleonce: path settles and then forwards the settle obligation — the callee will settle again")
+					}
+					state = state.bump()
+				}
+			case soReturn:
+				if f.litOnly || !f.hasReturn {
+					state = 0
+					break
+				}
+				if ev.forwards {
+					if settleTrue && state&(soOne|soMany) != 0 {
+						add(ev.pos, "settleonce: path settles and then forwards the settle obligation — the callee will settle again")
+					}
+					state = 0
+					break
+				}
+				if ev.success && settleTrue && state&soZero != 0 && state&(soOne|soMany) == 0 {
+					// Only report when NO interleaving settles: a mixed
+					// {0,1} state means some joined path settled and the
+					// analysis cannot tell them apart soundly.
+					add(ev.pos, "settleonce: path returns success without settling — the invocation is never billed or recorded")
+				}
+				// (No settle=false check at returns: in that mode only a
+				// direct soSettle can bump the count, and soSettle already
+				// reports itself — a return check would duplicate it.)
+				if !ev.success && settleTrue && state&soZero == 0 {
+					add(ev.pos, "settleonce: every path to this error return has already settled — a settled attempt must report success, or the settle must move after the last fallible step")
+				}
+				state = 0
+			}
+			if state == 0 {
+				break
+			}
+		}
+	}
+	return findings
+}
+
+// prunedEdge reports whether the edge from block bi to its si-th successor
+// is impossible under the assumed settle value: a two-way branch whose
+// condition is the bare settle parameter (or its negation).
+func (f *soFunc) prunedEdge(bi, si int, settleTrue bool) bool {
+	if f.settleVar == nil {
+		return false
+	}
+	b := f.graph.Blocks[bi]
+	if len(b.Succs) != 2 || len(b.Nodes) == 0 {
+		return false
+	}
+	cond, ok := b.Nodes[len(b.Nodes)-1].(ast.Expr)
+	if !ok {
+		return false
+	}
+	cond = ast.Unparen(cond)
+	negated := false
+	if u, isNot := cond.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		cond, negated = ast.Unparen(u.X), true
+	}
+	if identVar(f.pass, cond) != f.settleVar {
+		return false
+	}
+	// Succs[0] is the true branch. The edge the assumed value cannot take
+	// is pruned.
+	takesTrue := si == 0
+	condTrue := settleTrue != negated
+	return takesTrue != condTrue
+}
+
+func runSettleOnce(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() != "repro/internal/molecule" {
+		return nil, nil
+	}
+	waivers := collectWaivers(pass, settledMarker)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	report := func(fd settleFinding) {
+		posn := pass.Fset.Position(fd.pos)
+		if reason, found := waivers.lookup(posn.Filename, posn.Line); found {
+			if reason == "" {
+				waivers.reportBare(pass, rng(fd.pos))
+			}
+			return
+		}
+		pass.Report(analysis.Diagnostic{Pos: fd.pos, Message: fd.msg})
+	}
+
+	analyze := func(graph *cfg.CFG, settleVar *types.Var, hasReturn, litOnly bool) {
+		if graph == nil {
+			return
+		}
+		f := &soFunc{pass: pass, graph: graph, settleVar: settleVar, hasReturn: hasReturn, litOnly: litOnly}
+		for _, fd := range f.check(true) {
+			report(fd)
+		}
+		if settleVar != nil {
+			for _, fd := range f.check(false) {
+				report(fd)
+			}
+		}
+	}
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil || n.Name.Name == settleFn.Method {
+				return
+			}
+			if isTestFile(pass, pass.Fset.Position(n.Pos()).Filename) {
+				return
+			}
+			settleVar := settleParam(pass, n.Type)
+			if settleVar == nil && !containsSettleCall(pass, n.Body) {
+				return
+			}
+			hasReturn := funcReturnsError(pass, n.Type)
+			analyze(cfgs.FuncDecl(n), settleVar, hasReturn, false)
+		case *ast.FuncLit:
+			if isTestFile(pass, pass.Fset.Position(n.Pos()).Filename) {
+				return
+			}
+			if !containsSettleCall(pass, n.Body) {
+				return
+			}
+			analyze(cfgs.FuncLit(n), nil, false, true)
+		}
+	})
+	waivers.reportStale(pass, "settle finding")
+	return nil, nil
+}
+
+// rng adapts a bare position to analysis.Range for reportBare.
+type posRange token.Pos
+
+func (p posRange) Pos() token.Pos { return token.Pos(p) }
+func (p posRange) End() token.Pos { return token.Pos(p) }
+func rng(p token.Pos) posRange    { return posRange(p) }
+
+// settleParam finds a bool parameter named settle.
+func settleParam(pass *analysis.Pass, ft *ast.FuncType) *types.Var {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name != settleParamName {
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// funcReturnsError reports whether the last result is an error.
+func funcReturnsError(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	last := ft.Results.List[len(ft.Results.List)-1]
+	return types.Identical(pass.TypesInfo.TypeOf(last.Type), errorType)
+}
+
+// containsSettleCall reports whether body directly calls settleResult
+// (outside nested literals).
+func containsSettleCall(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals are analyzed on their own
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isSettleCall(pass, call) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestSettleOnce(t *testing.T) {
+	linttest.Run(t, lint.SettleOnce,
+		linttest.Package{Path: "repro/internal/molecule", Dir: "testdata/settleonce/molecule"})
+}

@@ -1,0 +1,15 @@
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+)
+
+func init() {
+	// copylock's analyzer is registered under the name "copylocks", matching
+	// `go vet`. Nilness is the local CFG-based subset defined in nilness.go.
+	Stock = []*analysis.Analyzer{
+		copylock.Analyzer,
+		Nilness,
+	}
+}

@@ -1,0 +1,16 @@
+// Stand-in for repro/internal/hw: just enough surface for the crossdomain
+// fixtures — the Interconnect cross-domain edges with their real argument
+// shapes (from, to, payload size, callback).
+package hw
+
+// Proc stands in for the sending simulation process.
+type Proc struct{ ID int }
+
+// Interconnect stands in for the sharded NoC model.
+type Interconnect struct{ BaseLat int64 }
+
+// Send delivers fn on the destination domain after the modeled transfer.
+func (ic *Interconnect) Send(from *Proc, to int, bytes int64, fn func()) {}
+
+// SendAfter is Send with an extra sender-side delay.
+func (ic *Interconnect) SendAfter(from *Proc, to int, bytes int64, extra int64, fn func()) {}

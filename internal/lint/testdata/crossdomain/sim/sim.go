@@ -1,0 +1,15 @@
+// Stand-in for repro/internal/sim: the sharded kernel's raw cross-domain
+// Send primitive.
+package sim
+
+// Env stands in for a per-domain simulation environment.
+type Env struct{ Domain int }
+
+// Duration mirrors sim.Duration.
+type Duration int64
+
+// Sharded stands in for the sharded parallel kernel.
+type Sharded struct{}
+
+// Send schedules fn on domain `to` at a conservative barrier.
+func (sh *Sharded) Send(from *Env, to int, delay Duration, fn func()) {}

@@ -44,3 +44,10 @@ func (s *shim) coldSend(id int, payload string) string {
 	label := fmt.Sprintf("msg-%d", id)
 	return label + s.prefix + payload
 }
+
+// retired once held a pinned send loop; the directive drifted into the body
+// when the function was gutted, so it pins nothing now.
+func (s *shim) retired() {
+	//molecule:hotpath // want `hotpath: stale //molecule:hotpath directive: not attached to a function declaration`
+	_ = s.prefix
+}

@@ -1,0 +1,60 @@
+package nilfix
+
+// Fixtures for the local definitely-nil subset: only variables nil on EVERY
+// path to the use are reported.
+
+type T struct{ x int }
+
+func deref() int {
+	var p *T
+	return p.x // want `nilness: nil dereference in field access p\.x`
+}
+
+func derefLoad() int {
+	var p *int
+	return *p // want `nilness: nil dereference in load of \*p`
+}
+
+func refined(p *T) int {
+	if p == nil {
+		return p.x // want `nilness: nil dereference in field access p\.x`
+	}
+	return p.x
+}
+
+func mapStore() {
+	var m map[string]int
+	m["k"] = 1 // want `nilness: store into nil map m`
+}
+
+func callNil() {
+	var f func()
+	f() // want `nilness: call of nil function f`
+}
+
+// assigned before use: no finding.
+func ok() int {
+	p := &T{}
+	return p.x
+}
+
+// maybe-nil joins to unknown (must-analysis): no finding, by design.
+func maybe(b bool) int {
+	var p *T
+	if b {
+		p = &T{}
+	}
+	if p != nil {
+		return p.x
+	}
+	return 0
+}
+
+// address-taken variables are never tracked.
+func escaped() int {
+	var p *T
+	fix(&p)
+	return p.x
+}
+
+func fix(pp **T) { *pp = &T{} }

@@ -1,0 +1,45 @@
+package lang
+
+import "errors"
+
+// Stand-in for the zygote-tree pin/unpin pairing (pin-style: the tracked
+// resource is the argument, not a result).
+
+type ZygoteNode struct{ refs int }
+
+type ZygoteTree struct{}
+
+func (t *ZygoteTree) Pin(n *ZygoteNode)   {}
+func (t *ZygoteTree) Unpin(n *ZygoteNode) {}
+
+var errCfork = errors.New("cfork failed")
+
+func cfork(n *ZygoteNode) error { return nil }
+
+// GrowOK unpins on both the error and the success path.
+func GrowOK(t *ZygoteTree, parent *ZygoteNode) error {
+	t.Pin(parent)
+	if err := cfork(parent); err != nil {
+		t.Unpin(parent)
+		return err
+	}
+	t.Unpin(parent)
+	return nil
+}
+
+// GrowLeak keeps the node pinned when cfork fails — the eviction scan can
+// never reclaim it.
+func GrowLeak(t *ZygoteTree, parent *ZygoteNode) error {
+	t.Pin(parent) // want `releasepath: zygote pin "parent" acquired here can reach the return at`
+	if err := cfork(parent); err != nil {
+		return err
+	}
+	t.Unpin(parent)
+	return nil
+}
+
+// PinExpr pins an expression the pairing check cannot name.
+func PinExpr(t *ZygoteTree, nodes []*ZygoteNode) {
+	t.Pin(nodes[0]) // want `releasepath: zygote pin pinned via a non-variable expression`
+	t.Unpin(nodes[0])
+}

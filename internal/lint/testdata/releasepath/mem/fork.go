@@ -1,0 +1,39 @@
+package mem
+
+// Stand-in for the mem address-space fork/release pairing.
+
+type AddressSpace struct{ pages int }
+
+func (as *AddressSpace) Fork() *AddressSpace { return &AddressSpace{} }
+
+func (as *AddressSpace) Release() {}
+
+func corrupt() bool { return false }
+
+// ForkDouble is the PR 9 shape on the receiver-style release: an eviction
+// branch releases, then the shared epilogue releases again.
+func ForkDouble(tmpl *AddressSpace) error {
+	child := tmpl.Fork()
+	if corrupt() {
+		child.Release()
+	}
+	child.Release() // want `releasepath: forked address space "child" released twice on a path`
+	return nil
+}
+
+// ForkDefer is the canonical correct shape.
+func ForkDefer(tmpl *AddressSpace) *AddressSpace {
+	child := tmpl.Fork()
+	defer child.Release()
+	return tmpl.Fork() // the returned fork transfers with the value
+}
+
+// ForkLeak never releases on the bail-out path.
+func ForkLeak(tmpl *AddressSpace) error {
+	child := tmpl.Fork() // want `releasepath: forked address space "child" acquired here can reach the return at`
+	if corrupt() {
+		return nil
+	}
+	child.Release()
+	return nil
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Waiver markers. Each analyzer that admits waivers recognizes exactly one
+// marker; the reason after the marker is mandatory (a bare marker is itself
+// a violation), and a marker attached to a line the analyzer no longer
+// flags is reported as stale — dead waivers rot the invariant story.
+const (
+	unorderedMarker = "//lint:unordered" // maporder: order cannot be observed
+	ownedMarker     = "//lint:owned"     // crossdomain: capture ownership argument
+	releasedMarker  = "//lint:released"  // releasepath: release happens elsewhere
+	settledMarker   = "//lint:settled"   // settleonce: settlement argument
+)
+
+// waiverEligible maps analyzer name -> the waiver marker it honors. It is
+// the single source for the -json report's waiver-eligible flag and for the
+// README's marker table.
+var waiverEligible = map[string]string{
+	"maporder":    unorderedMarker,
+	"crossdomain": ownedMarker,
+	"releasepath": releasedMarker,
+	"settleonce":  settledMarker,
+}
+
+// WaiverMarkerFor returns the //lint: waiver marker the named analyzer
+// honors, if any. It is the -json report's source for the waiver-eligible
+// flag.
+func WaiverMarkerFor(analyzer string) (marker string, ok bool) {
+	marker, ok = waiverEligible[analyzer]
+	return marker, ok
+}
+
+// waiver is one marker comment: its reason text and whether an analyzer
+// consumed it for a construct it actually flags.
+type waiver struct {
+	reason string
+	pos    analysis.Range
+	used   bool
+}
+
+// waiverSet indexes one marker's comments by file and line.
+type waiverSet struct {
+	marker string
+	byFile map[string]map[int]*waiver
+}
+
+// collectWaivers gathers every comment starting with marker across the
+// package, keyed by file and line, for lookup + stale auditing.
+func collectWaivers(pass *analysis.Pass, marker string) *waiverSet {
+	ws := &waiverSet{marker: marker, byFile: make(map[string]map[int]*waiver)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, marker) {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if ws.byFile[p.Filename] == nil {
+					ws.byFile[p.Filename] = make(map[int]*waiver)
+				}
+				ws.byFile[p.Filename][p.Line] = &waiver{
+					reason: strings.TrimSpace(strings.TrimPrefix(c.Text, marker)),
+					pos:    c,
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// lookup finds a waiver on the given line or the line above (marker on the
+// flagged line, or on its own line immediately before), marking it used.
+// The bool reports whether a waiver exists; an empty reason is the caller's
+// cue to reject it as bare.
+func (ws *waiverSet) lookup(file string, line int) (reason string, ok bool) {
+	lines := ws.byFile[file]
+	if lines == nil {
+		return "", false
+	}
+	w, found := lines[line]
+	if !found {
+		w, found = lines[line-1]
+	}
+	if !found {
+		return "", false
+	}
+	w.used = true
+	return w.reason, true
+}
+
+// reportBare reports a waiver that carries no reason, at the waived
+// construct's position.
+func (ws *waiverSet) reportBare(pass *analysis.Pass, rng analysis.Range) {
+	pass.Reportf(rng.Pos(), "%s: %s marker needs a reason", ws.marker[len("//lint:"):], ws.marker)
+}
+
+// reportStale reports every waiver no analyzer consumed: the construct it
+// once excused is gone (or moved), so the marker is dead weight that would
+// silently waive a future, different violation. Waivers in test files are
+// exempt, mirroring the analyzers' own test-file exemption.
+func (ws *waiverSet) reportStale(pass *analysis.Pass, what string) {
+	var stale []*waiver
+	for file, lines := range ws.byFile {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, w := range lines {
+			if !w.used {
+				stale = append(stale, w)
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].pos.Pos() < stale[j].pos.Pos() })
+	for _, w := range stale {
+		pass.Reportf(w.pos.Pos(), "stale %s waiver: no %s on this line — delete the marker", ws.marker, what)
+	}
+}

@@ -142,6 +142,17 @@ func (rt *Runtime) InvokeDAG(p *sim.Proc, dag DAG, opts DAGOptions) (DAGResult, 
 	var res DAGResult
 	insts := make([]*instance, n)
 	deps := make([]*Deployment, n)
+	// The cleanup defer is registered BEFORE the acquire loop: a Deployment
+	// or acquire error mid-loop must still release every already-acquired
+	// instance (the InvokeChain defer-after-acquire leak, caught by
+	// moleculelint's releasepath analyzer).
+	defer func() {
+		for _, inst := range insts {
+			if inst != nil {
+				rt.release(p, inst)
+			}
+		}
+	}()
 	for _, i := range order {
 		d, err := rt.Deployment(dag.Nodes[i].Fn)
 		if err != nil {
@@ -161,11 +172,6 @@ func (rt *Runtime) InvokeDAG(p *sim.Proc, dag DAG, opts DAGOptions) (DAGResult, 
 		}
 		insts[i] = inst
 	}
-	defer func() {
-		for _, inst := range insts {
-			rt.release(p, inst)
-		}
-	}()
 
 	// One completion event per node; consumers wait on their producers'.
 	doneEv := make([]*sim.Event, n)

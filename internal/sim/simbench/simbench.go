@@ -103,6 +103,7 @@ func CrossShardSend(b *testing.B) {
 	var received int
 	sh.Domain(0).Spawn("sender", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
+			//lint:owned bench counter: received is written only by domain 1's deliveries and read after Run returns
 			sh.Send(p.Env(), 1, time.Microsecond, func() { received++ })
 			p.Sleep(time.Microsecond)
 		}
@@ -134,6 +135,7 @@ func AddressSpaceForkFanout(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := range children {
+			//lint:released fanout child: every child is released in the drain loop at the end of this iteration; b.Fatalf exits abort the process
 			c := tmpl.Fork()
 			c.Write(0, privatePages)
 			children[j] = c
